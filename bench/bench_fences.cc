@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Table 10.1: breakdown of fenced instructions between ISV and DSV
+ * causes, plus the fences-per-kilo-instruction rates (Section 9.2,
+ * "Breakdown of Speculation Views").
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common.hh"
+#include "workloads/experiment.hh"
+
+using namespace perspective;
+using namespace perspective::bench;
+using namespace perspective::workloads;
+
+namespace
+{
+
+struct Row
+{
+    double isv_share = 0;
+    double dsv_share = 0;
+    double isv_per_ki = 0;
+    double dsv_per_ki = 0;
+};
+
+Row
+measure(const WorkloadProfile &w, Scheme s)
+{
+    Experiment e(w, s);
+    auto r = e.run(kIterations, kWarmup);
+    Row out;
+    double total = static_cast<double>(r.isvFences + r.dsvFences);
+    if (total > 0) {
+        out.isv_share = 100.0 * r.isvFences / total;
+        out.dsv_share = 100.0 * r.dsvFences / total;
+    }
+    double ki = r.instructions / 1000.0;
+    out.isv_per_ki = r.isvFences / ki;
+    out.dsv_per_ki = r.dsvFences / ki;
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Table 10.1: Percentage of fenced instructions due to "
+           "ISV and DSV");
+    std::printf("%-14s %-12s %-16s %-22s\n", "Config", "Workload",
+                "ISV%% / DSV%%", "fences per kilo-inst");
+    rule(70);
+
+    struct SchemeRow
+    {
+        Scheme s;
+        const char *label;
+    };
+    const SchemeRow rows[] = {
+        {Scheme::PerspectiveStatic, "ISV-S/DSV"},
+        {Scheme::Perspective, "ISV/DSV"},
+        {Scheme::PerspectivePlusPlus, "ISV++/DSV"},
+    };
+
+    for (const auto &[scheme, label] : rows) {
+        // LEBench: average over the suite.
+        Row avg;
+        auto suite = lebenchSuite();
+        for (const auto &w : suite) {
+            Row r = measure(w, scheme);
+            avg.isv_share += r.isv_share;
+            avg.dsv_share += r.dsv_share;
+            avg.isv_per_ki += r.isv_per_ki;
+            avg.dsv_per_ki += r.dsv_per_ki;
+        }
+        double n = static_cast<double>(suite.size());
+        std::printf("%-14s %-12s %4.0f%% / %-4.0f%%    "
+                    "%5.1f isv + %5.1f dsv\n",
+                    label, "LEBench", avg.isv_share / n,
+                    avg.dsv_share / n, avg.isv_per_ki / n,
+                    avg.dsv_per_ki / n);
+        for (const auto &w : datacenterSuite()) {
+            Row r = measure(w, scheme);
+            std::printf("%-14s %-12s %4.0f%% / %-4.0f%%    "
+                        "%5.1f isv + %5.1f dsv\n",
+                        label, w.name.c_str(), r.isv_share,
+                        r.dsv_share, r.isv_per_ki, r.dsv_per_ki);
+        }
+    }
+
+    std::printf("\n[paper: ISV share 12-27%%, DSV share 73-88%%; "
+                "~9 ISV and ~37 DSV fences per kilo-instruction]\n");
+    return 0;
+}

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Table 9.1: hardware structure characterization of Perspective's ISV
+ * and DSV caches at 22 nm (CACTI-class analytic model).
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "core/hwmodel.hh"
+
+using namespace perspective;
+using namespace perspective::bench;
+using namespace perspective::core;
+
+int
+main()
+{
+    banner("Table 9.1: Hardware Structure Characterization (22 nm)");
+    std::printf("%-14s %-12s %-13s %-13s %-12s\n", "Configuration",
+                "Area", "Access Time", "Dyn. Energy", "Leak. Power");
+    rule(66);
+
+    for (const SramGeometry &g :
+         {dsvCacheGeometry(), isvCacheGeometry()}) {
+        auto c = characterizeSram(g);
+        std::printf("%-14s %8.4f mm2 %8.0f ps  %9.2f pJ  %8.2f mW\n",
+                    g.name.c_str(), c.areaMm2, c.accessPs,
+                    c.dynEnergyPj, c.leakPowerMw);
+    }
+    std::printf("\n[paper: DSV 0.0024 mm2 / 114 ps / 1.21 pJ / 0.78 "
+                "mW; ISV 0.0025 / 115 / 1.29 / 0.79]\n");
+    return 0;
+}

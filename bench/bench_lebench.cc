@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 9.2: LEBench normalized latency under FENCE and the three
+ * Perspective flavors, normalized to UNSAFE; plus the Section 9.1
+ * comparisons against DOM, STT, and deployed spot mitigations
+ * (KPTI + retpoline).
+ */
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "common.hh"
+#include "workloads/experiment.hh"
+
+using namespace perspective;
+using namespace perspective::bench;
+using namespace perspective::workloads;
+
+int
+main()
+{
+    banner("Figure 9.2: LEBench normalized latency (lower is better,"
+           " 1.00 = UNSAFE)");
+
+    std::vector<Scheme> schemes = {
+        Scheme::Fence,           Scheme::Dom,
+        Scheme::Stt,             Scheme::InvisiSpec,
+        Scheme::Spot,            Scheme::PerspectiveStatic,
+        Scheme::Perspective,     Scheme::PerspectivePlusPlus};
+
+    std::printf("%-14s", "benchmark");
+    for (Scheme s : schemes)
+        std::printf("%12s", schemeName(s));
+    std::printf("\n");
+    rule(14 + 12 * schemes.size());
+
+    std::map<Scheme, double> sums;
+    auto suite = lebenchSuite();
+    for (const auto &w : suite) {
+        Experiment base(w, Scheme::Unsafe);
+        double unsafe_cycles =
+            static_cast<double>(base.run(kIterations, kWarmup).cycles);
+        std::printf("%-14s", w.name.c_str());
+        for (Scheme s : schemes) {
+            Experiment e(w, s);
+            double norm =
+                e.run(kIterations, kWarmup).cycles / unsafe_cycles;
+            sums[s] += norm;
+            std::printf("%12.3f", norm);
+        }
+        std::printf("\n");
+    }
+
+    rule(14 + 12 * schemes.size());
+    std::printf("%-14s", "geomean-ish");
+    for (Scheme s : schemes)
+        std::printf("%12.3f", sums[s] / suite.size());
+    std::printf("\n");
+
+    std::printf("\n[paper: FENCE avg 1.475 (select/poll up to 3.28),"
+                " DOM 1.231, STT 1.037,\n"
+                " spot (KPTI+retpoline) 1.145, P-STATIC 1.041, "
+                "PERSPECTIVE 1.036, P++ 1.035]\n");
+    return 0;
+}

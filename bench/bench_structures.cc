@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the hardware-model building
+ * blocks: ISV/DSV cache lookups, DSVMT walks, predictor queries, and
+ * ISV view reconfiguration. These measure the *simulator's* cost per
+ * modeled operation (host nanoseconds), useful for keeping the
+ * experiment harness fast.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/dsvmt.hh"
+#include "core/hwcache.hh"
+#include "core/isv.hh"
+#include "sim/predictor.hh"
+#include "sim/program.hh"
+
+using namespace perspective;
+using namespace perspective::core;
+using namespace perspective::sim;
+
+namespace
+{
+
+void
+BM_IsvCacheLookupHit(benchmark::State &state)
+{
+    IsvCache c;
+    IsvRegionBits bits;
+    bits.set(0);
+    c.fill(kKernelTextBase, 1, bits);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            c.lookup(kKernelTextBase, 1, true));
+    }
+}
+BENCHMARK(BM_IsvCacheLookupHit);
+
+void
+BM_IsvCacheLookupMiss(benchmark::State &state)
+{
+    IsvCache c;
+    Addr pc = kKernelTextBase;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(c.lookup(pc, 1, true));
+        pc += 512;
+    }
+}
+BENCHMARK(BM_IsvCacheLookupMiss);
+
+void
+BM_DsvCacheLookupHit(benchmark::State &state)
+{
+    DsvCache c;
+    c.fill(kDirectMapBase, 1, true);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(c.lookup(kDirectMapBase, 1, true));
+}
+BENCHMARK(BM_DsvCacheLookupHit);
+
+void
+BM_DsvmtQuery(benchmark::State &state)
+{
+    Dsvmt t;
+    for (kernel::Pfn p = 0; p < 4096; p += 3)
+        t.setPage(p, true);
+    kernel::Pfn p = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(t.queryPfn(p));
+        p = (p + 7) % 4096;
+    }
+}
+BENCHMARK(BM_DsvmtQuery);
+
+void
+BM_CondPredictorPredict(benchmark::State &state)
+{
+    CondPredictor p;
+    Addr pc = kKernelTextBase;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(p.predict(pc));
+        pc += 4;
+    }
+}
+BENCHMARK(BM_CondPredictorPredict);
+
+void
+BM_IsvViewReconfigure(benchmark::State &state)
+{
+    Program prog;
+    FuncId f = prog.addFunction("kf", true);
+    prog.func(f).body.assign(64, nop());
+    prog.func(f).body.push_back(ret());
+    prog.layout();
+    IsvView v(prog);
+    for (auto _ : state) {
+        v.includeFunction(f);
+        v.excludeFunction(f);
+    }
+}
+BENCHMARK(BM_IsvViewReconfigure);
+
+void
+BM_IsvViewRegionBits(benchmark::State &state)
+{
+    Program prog;
+    FuncId f = prog.addFunction("kf", true);
+    prog.func(f).body.assign(128, nop());
+    prog.func(f).body.push_back(ret());
+    prog.layout();
+    IsvView v(prog);
+    v.includeFunction(f);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            v.regionBits(prog.func(f).instAddr(0), 512));
+    }
+}
+BENCHMARK(BM_IsvViewRegionBits);
+
+} // namespace
+
+BENCHMARK_MAIN();

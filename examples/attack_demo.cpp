@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Attack demo: runs one *active* (Spectre v1 through a driver gadget)
+ * and one *passive* (Spectre v2 BTB injection) transient-execution
+ * attack end-to-end on the simulator, under unprotected hardware and
+ * under Perspective, narrating each phase.
+ *
+ *   ./examples/attack_demo
+ */
+
+#include <cstdio>
+
+#include "attacks/poc.hh"
+
+using namespace perspective;
+using namespace perspective::attacks;
+using namespace perspective::workloads;
+
+namespace
+{
+
+void
+demo(PocKind kind, const char *story)
+{
+    std::printf("\n--- %s ---\n%s\n", std::string(pocName(kind)).c_str(),
+                story);
+    for (Scheme s : {Scheme::Unsafe, Scheme::Perspective}) {
+        Experiment e(pocProfile(), s);
+        auto r = runPoc(kind, e);
+        std::printf("  under %-12s: ", schemeName(s));
+        if (r.leaked) {
+            std::printf("LEAKED secret byte 0x%02x through the cache "
+                        "covert channel\n", *r.recovered);
+        } else {
+            std::printf("blocked — no probe line was touched\n");
+        }
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Transient-execution attacks on the simulated "
+                "kernel\n");
+    std::printf("==================================================\n");
+
+    demo(PocKind::ActiveV1Ioctl,
+         "The attacker mistrains a bounds check in a USB driver's\n"
+         "ioctl path (CVE-2022-27223 analogue), then calls ioctl with\n"
+         "an out-of-bounds index whose target is the *victim tenant's*\n"
+         "memory. The transient load reads the secret; a dependent\n"
+         "load transmits it into a Flush+Reload probe array.\n"
+         "Perspective's DSVs block the access: the page belongs to\n"
+         "another cgroup's speculation view.");
+
+    demo(PocKind::PassiveV2,
+         "The attacker poisons the BTB entry of the victim's vfs read\n"
+         "dispatch so the victim's own kernel thread transiently jumps\n"
+         "into a cold driver gadget that leaks the victim's own data.\n"
+         "No ownership is violated — DSVs cannot help — but the gadget\n"
+         "lies outside the victim's ISV, so its transmitter loads are\n"
+         "blocked from speculative execution.");
+
+    demo(PocKind::PassiveRetbleed,
+         "A 20-deep path walk underflows the 16-entry RSB; underflowing\n"
+         "returns fall back to the BTB, which the attacker poisoned\n"
+         "(Retbleed). Retpoline does not cover returns — but the ISV\n"
+         "does not care how control flow was hijacked.");
+
+    std::printf("\nTaxonomy recap: active attacks die at the DSV, "
+                "passive attacks die at the ISV.\n");
+    return 0;
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Container isolation tour: how ownership flows from cgroups through
+ * the buddy and secure slab allocators into DSVs — and why the
+ * *normal* slab allocator's packing is a problem (Section 5.2).
+ *
+ *   ./examples/container_isolation
+ */
+
+#include <cstdio>
+
+#include "kernel/kstate.hh"
+#include "sim/memory.hh"
+
+using namespace perspective;
+using namespace perspective::kernel;
+
+namespace
+{
+
+void
+tour(bool secure_slab)
+{
+    std::printf("\n--- %s slab allocator ---\n",
+                secure_slab ? "SECURE (Perspective)" : "normal");
+
+    sim::Memory mem;
+    KernelParams kp;
+    kp.secureSlab = secure_slab;
+    KernelState ks(mem, kp);
+
+    CgroupId tenant_a = ks.createCgroup("tenant-a");
+    CgroupId tenant_b = ks.createCgroup("tenant-b");
+    Pid pa = ks.createProcess(tenant_a);
+    Pid pb = ks.createProcess(tenant_b);
+
+    std::printf("tenant-a process %u -> domain %u; tenant-b process "
+                "%u -> domain %u\n", pa, ks.domainOf(pa), pb,
+                ks.domainOf(pb));
+
+    // Explicit allocations (mmap-style): page ownership goes straight
+    // into the ownership map = the DSV ground truth.
+    auto page_a = ks.allocUserPage(pa);
+    std::printf("tenant-a mmap page: pfn %llu owned by domain %u\n",
+                static_cast<unsigned long long>(*page_a),
+                ks.ownership().ownerOf(*page_a));
+
+    // Implicit allocations (kmalloc): this is where packing matters.
+    Addr obj_a = ks.kmalloc(128, ks.domainOf(pa));
+    Addr obj_b = ks.kmalloc(128, ks.domainOf(pb));
+    bool same_page = directMapPfn(obj_a) == directMapPfn(obj_b);
+    std::printf("kmalloc(128) objects: a=0x%llx b=0x%llx — %s\n",
+                static_cast<unsigned long long>(obj_a),
+                static_cast<unsigned long long>(obj_b),
+                same_page ? "SAME page (collocated!)"
+                          : "separate pages");
+    std::printf("page of a owned by domain %u, page of b by domain "
+                "%u\n",
+                ks.ownership().ownerOfVa(obj_a),
+                ks.ownership().ownerOfVa(obj_b));
+
+    if (same_page) {
+        std::printf("=> a DSV at page granularity cannot separate "
+                    "these tenants;\n   this is why Perspective "
+                    "requires the secure slab allocator.\n");
+    } else {
+        std::printf("=> each page holds a single tenant's objects; "
+                    "DSVs isolate them cleanly.\n");
+    }
+
+    // Fragmentation price of isolation.
+    double util_sum = 0;
+    unsigned n = 0;
+    for (const auto &cache : ks.slabs()) {
+        if (cache->pagesInUse() > 0) {
+            util_sum += cache->utilization();
+            ++n;
+        }
+    }
+    std::printf("slab utilization across active caches: %.1f%%\n",
+                n ? 100.0 * util_sum / n : 100.0);
+
+    ks.kfree(obj_a, 128);
+    ks.kfree(obj_b, 128);
+    ks.exitProcess(pa);
+    ks.exitProcess(pb);
+    std::printf("after exit: every frame released, ownership "
+                "returned to unknown (%llu frames in use)\n",
+                static_cast<unsigned long long>(
+                    ks.buddy().allocatedFrames()));
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Ownership and isolation across containers\n");
+    std::printf("==========================================\n");
+    tour(/*secure_slab=*/false);
+    tour(/*secure_slab=*/true);
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Live patching with reconfigurable ISVs (Section 5.4): when a new
+ * gadget is disclosed in a kernel function, exclude that function
+ * from the running application's ISV — no kernel patch, no reboot —
+ * and show that (a) the attack is immediately blocked and (b) steady-
+ * state performance is essentially unchanged.
+ *
+ *   ./examples/live_patching
+ */
+
+#include <cstdio>
+
+#include "attacks/poc.hh"
+
+using namespace perspective;
+using namespace perspective::attacks;
+using namespace perspective::workloads;
+
+int
+main()
+{
+    std::printf("Dynamically reconfigurable ISVs: patching a gadget "
+                "at runtime\n");
+    std::printf("====================================================="
+                "=====\n\n");
+
+    // The service runs under Perspective with its dynamic ISV. The
+    // ptrace gadget (CVE-2019-15902 analogue) is on a traced path,
+    // so it IS inside the view: DSVs stop the cross-tenant leak, but
+    // suppose the operator wants the gadget gone outright — e.g. the
+    // disclosure also enables a same-domain attack.
+    Experiment e(pocProfile(), Scheme::Perspective);
+    auto *view = e.isvView();
+    auto gadget = e.image().pocPtraceGadget();
+
+    std::printf("ISV before patch: %zu functions; gadget function "
+                "'%s' in view: %s\n",
+                view->numFunctions(),
+                e.image().program().func(gadget).name.c_str(),
+                view->containsFunction(gadget) ? "yes" : "no");
+
+    auto before = e.run(20, 3);
+    std::printf("steady-state: %llu cycles / 20 requests\n\n",
+                static_cast<unsigned long long>(before.cycles));
+
+    // --- the disclosure lands; the operator reacts ------------------
+    std::printf("[security advisory received — excluding the "
+                "function from the live view]\n\n");
+    view->excludeFunction(gadget);
+
+    std::printf("ISV after patch: %zu functions; gadget in view: "
+                "%s\n", view->numFunctions(),
+                view->containsFunction(gadget) ? "yes" : "no");
+
+    // The gadget's transmitters can no longer execute speculatively,
+    // under ANY hijack or mistraining, for this context.
+    auto attack = runPoc(PocKind::ActiveV1Ptrace, e);
+    std::printf("PoC against the patched view: %s\n",
+                attack.leaked ? "LEAKED (!!)" : "blocked");
+
+    auto after = e.run(20, 3);
+    double delta = 100.0 * (static_cast<double>(after.cycles) /
+                                before.cycles - 1.0);
+    std::printf("steady-state after patch: %llu cycles / 20 requests "
+                "(%+.2f%%)\n",
+                static_cast<unsigned long long>(after.cycles), delta);
+    std::printf("\nNo kernel rebuild, no reboot, no downtime — the "
+                "view is the patch.\n");
+    return 0;
+}

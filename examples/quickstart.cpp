@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Quickstart: build a complete simulated stack — kernel image, kernel
+ * state, a containerized process — run a workload under UNSAFE and
+ * PERSPECTIVE, and inspect what the framework did.
+ *
+ *   ./examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "workloads/experiment.hh"
+
+using namespace perspective;
+using namespace perspective::workloads;
+
+int
+main()
+{
+    std::printf("Perspective quickstart\n");
+    std::printf("======================\n\n");
+
+    // A workload profile describes one application: the syscalls of
+    // one request plus a userspace-compute knob.
+    WorkloadProfile app = redisProfile();
+    std::printf("workload: %s (%zu syscalls per request)\n",
+                app.name.c_str(), app.request.size());
+
+    // An Experiment wires the full stack for one (workload, scheme)
+    // pair: memory, the 28K-function kernel image, allocators,
+    // cgroups and processes, the defense policy, and the pipeline.
+    Experiment unsafe_run(app, Scheme::Unsafe);
+    Experiment persp_run(app, Scheme::Perspective);
+
+    std::printf("kernel image: %zu functions, %zu micro-ops\n",
+                unsafe_run.image().numKernelFunctions(),
+                unsafe_run.image().program().totalOps());
+    std::printf("dynamic ISV: %zu functions (%.1f%% of the "
+                "kernel)\n\n",
+                persp_run.isvView()->numFunctions(),
+                100.0 * persp_run.isvView()->numFunctions() /
+                    persp_run.image().numKernelFunctions());
+
+    auto ru = unsafe_run.run(/*iterations=*/30, /*warmup=*/3);
+    auto rp = persp_run.run(30, 3);
+
+    std::printf("%-22s %12s %12s\n", "", "UNSAFE", "PERSPECTIVE");
+    std::printf("%-22s %12llu %12llu\n", "cycles",
+                static_cast<unsigned long long>(ru.cycles),
+                static_cast<unsigned long long>(rp.cycles));
+    std::printf("%-22s %12llu %12llu\n", "instructions",
+                static_cast<unsigned long long>(ru.instructions),
+                static_cast<unsigned long long>(rp.instructions));
+    std::printf("%-22s %11.1f%% %11.1f%%\n", "time in kernel",
+                100.0 * ru.kernelFraction(),
+                100.0 * rp.kernelFraction());
+    std::printf("%-22s %12llu %12llu\n", "fences",
+                static_cast<unsigned long long>(ru.fences),
+                static_cast<unsigned long long>(rp.fences));
+    std::printf("%-22s %12s %11.1f%%\n", "ISV cache hit rate", "-",
+                100.0 * rp.isvCacheHitRate);
+    std::printf("%-22s %12s %11.1f%%\n", "DSV cache hit rate", "-",
+                100.0 * rp.dsvCacheHitRate);
+    std::printf("\nPerspective execution overhead: %.2f%%\n",
+                100.0 * (static_cast<double>(rp.cycles) / ru.cycles -
+                         1.0));
+    return 0;
+}

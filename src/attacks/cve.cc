@@ -1,0 +1,84 @@
+#include "cve.hh"
+
+namespace perspective::attacks
+{
+
+const std::vector<CveRow> &
+cveCatalog()
+{
+    static const std::vector<CveRow> rows = {
+        {1, Primitive::SpeculativeDataAccess, MitigationGap::None,
+         "CVE-2022-27223", "Array index is not validated",
+         "Xilinx USB driver", PocKind::ActiveV1Ioctl},
+        {2, Primitive::SpeculativeDataAccess, MitigationGap::Misuse,
+         "CVE-2019-15902",
+         "Reintroduced Spectre vulnerabilities in backporting",
+         "ptrace", PocKind::ActiveV1Ptrace},
+        {3, Primitive::SpeculativeDataAccess, MitigationGap::None,
+         "CVE-2021-31829 CVE-2019-7308 CVE-2020-27170 "
+         "CVE-2020-27171 CVE-2021-29155",
+         "Out-of-bounds speculation on pointer arithmetic",
+         "eBPF verifier", PocKind::ActiveV1Bpf},
+        {4, Primitive::SpeculativeDataAccess, MitigationGap::None,
+         "CVE-2021-33624", "Speculative type confusion",
+         "eBPF verifier", PocKind::ActiveV1Bpf},
+        {5, Primitive::ControlFlowHijack, MitigationGap::Hardware,
+         "CVE-2022-0001 CVE-2022-0002 CVE-2022-23960",
+         "Branch history injection", "Indirect calls and jumps",
+         PocKind::PassiveV2},
+        {6, Primitive::ControlFlowHijack, MitigationGap::Software,
+         "CVE-2021-26401", "LFENCE/JMP is insufficient on AMD",
+         "Indirect calls and jumps", PocKind::PassiveV2},
+        {7, Primitive::ControlFlowHijack, MitigationGap::Software,
+         "CVE-2022-29900 CVE-2022-29901", "Retbleed",
+         "Retpoline", PocKind::PassiveRetbleed},
+        {8, Primitive::ControlFlowHijack, MitigationGap::Misuse,
+         "CVE-2022-2196", "Missing retpolines or IBPB", "KVM",
+         PocKind::PassiveV2},
+        {9, Primitive::ControlFlowHijack, MitigationGap::Misuse,
+         "CVE-2019-18660 CVE-2020-10767 CVE-2022-23824 "
+         "CVE-2023-1998",
+         "Improper use of hardware mitigations",
+         "Indirect calls and jumps", PocKind::PassiveV2},
+    };
+    return rows;
+}
+
+std::string_view
+primitiveName(Primitive p)
+{
+    switch (p) {
+      case Primitive::SpeculativeDataAccess:
+        return "Unauthorized speculative data access (Spectre v1)";
+      case Primitive::ControlFlowHijack:
+        return "Speculative control-flow hijacking (v2/RSB)";
+    }
+    return "?";
+}
+
+std::string_view
+gapName(MitigationGap g)
+{
+    switch (g) {
+      case MitigationGap::None: return "n/a";
+      case MitigationGap::Hardware: return "Hardware";
+      case MitigationGap::Software: return "Software";
+      case MitigationGap::Misuse: return "Misuse";
+    }
+    return "?";
+}
+
+std::string_view
+pocName(PocKind k)
+{
+    switch (k) {
+      case PocKind::ActiveV1Ioctl: return "active-v1-ioctl";
+      case PocKind::ActiveV1Ptrace: return "active-v1-ptrace";
+      case PocKind::ActiveV1Bpf: return "active-v1-bpf";
+      case PocKind::PassiveV2: return "passive-v2";
+      case PocKind::PassiveRetbleed: return "passive-retbleed";
+    }
+    return "?";
+}
+
+} // namespace perspective::attacks

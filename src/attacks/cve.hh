@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The Table 4.1 catalog: speculative-execution vulnerabilities
+ * targeting the Linux kernel, classified by attack primitive and by
+ * the insufficiency of their mitigations. Each row maps onto one of
+ * the runnable PoCs in attacks/poc.hh.
+ */
+
+#ifndef PERSPECTIVE_ATTACKS_CVE_HH
+#define PERSPECTIVE_ATTACKS_CVE_HH
+
+#include <string_view>
+#include <vector>
+
+namespace perspective::attacks
+{
+
+/** Attack primitive classes (Table 4.1, column 1). */
+enum class Primitive
+{
+    SpeculativeDataAccess,   ///< Spectre v1-style
+    ControlFlowHijack,       ///< Spectre v2 / RSB / Retbleed / BHI
+};
+
+/** Why existing mitigations fell short (column 2). */
+enum class MitigationGap
+{
+    None,     ///< no mitigation existed
+    Hardware, ///< hardware mitigation bypassed
+    Software, ///< software mitigation insufficient
+    Misuse,   ///< mitigations misapplied
+};
+
+/** Which runnable PoC demonstrates the row. */
+enum class PocKind
+{
+    ActiveV1Ioctl,   ///< driver gadget, unvalidated index
+    ActiveV1Ptrace,  ///< gadget reintroduced by backporting
+    ActiveV1Bpf,     ///< verifier-injected gadget
+    PassiveV2,       ///< BTB injection into an indirect call
+    PassiveRetbleed, ///< RSB-underflow return hijack
+};
+
+/** One row of Table 4.1. */
+struct CveRow
+{
+    unsigned row;
+    Primitive primitive;
+    MitigationGap gap;
+    std::string_view cves;
+    std::string_view description;
+    std::string_view origin;
+    PocKind poc;
+};
+
+/** The nine rows of Table 4.1. */
+const std::vector<CveRow> &cveCatalog();
+
+std::string_view primitiveName(Primitive p);
+std::string_view gapName(MitigationGap g);
+std::string_view pocName(PocKind k);
+
+} // namespace perspective::attacks
+
+#endif // PERSPECTIVE_ATTACKS_CVE_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Runnable proof-of-concept attacks (Chapter 8).
+ *
+ * Every PoC executes end-to-end on the simulator: mistrain or poison
+ * a predictor, trigger transient execution of a kernel gadget, and
+ * recover the secret through Flush+Reload on the shared probe region.
+ * The same PoC run under different defense schemes demonstrates
+ * which mechanism stops which attack class:
+ *
+ *  - *active* attacks (the attacker's own kernel thread reads another
+ *    context's memory) are eliminated by DSVs;
+ *  - *passive* attacks (the victim's kernel thread is control-flow-
+ *    hijacked into a gadget that leaks the victim's own data) pass
+ *    every DSV check and are only stopped by ISVs.
+ */
+
+#ifndef PERSPECTIVE_ATTACKS_POC_HH
+#define PERSPECTIVE_ATTACKS_POC_HH
+
+#include <optional>
+
+#include "cve.hh"
+#include "workloads/experiment.hh"
+
+namespace perspective::attacks
+{
+
+/** Outcome of one PoC run. */
+struct PocResult
+{
+    bool leaked = false;
+    std::optional<unsigned> recovered;
+    unsigned expected = 0;
+};
+
+/**
+ * Run PoC @p kind against the stack in @p e (its scheme decides the
+ * active defense). The experiment should be built with pocProfile()
+ * so the attacked syscalls are part of the workload's ISV.
+ */
+PocResult runPoc(PocKind kind, workloads::Experiment &e);
+
+/** All five PoC kinds. */
+std::vector<PocKind> allPocs();
+
+/** Workload profile whose ISV covers the attacked syscall paths. */
+workloads::WorkloadProfile pocProfile();
+
+} // namespace perspective::attacks
+
+#endif // PERSPECTIVE_ATTACKS_POC_HH

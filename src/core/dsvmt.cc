@@ -1,0 +1,84 @@
+#include "dsvmt.hh"
+
+namespace perspective::core
+{
+
+using kernel::Pfn;
+
+void
+Dsvmt::setPage(Pfn pfn, bool in_dsv)
+{
+    // Demoting a huge mapping materializes nothing: leaf bits take
+    // precedence when present, so just write the leaf.
+    Leaf &leaf = leaves_[granuleOf(pfn)];
+    unsigned bit = pfn & 511;
+    if (in_dsv)
+        leaf[bit / 64] |= 1ull << (bit % 64);
+    else
+        leaf[bit / 64] &= ~(1ull << (bit % 64));
+}
+
+void
+Dsvmt::set2M(Pfn first_pfn, bool in_dsv)
+{
+    leaves_.erase(granuleOf(first_pfn));
+    huge2m_[granuleOf(first_pfn)] = in_dsv;
+}
+
+void
+Dsvmt::set1G(Pfn first_pfn, bool in_dsv)
+{
+    huge1g_[gigOf(first_pfn)] = in_dsv;
+}
+
+bool
+Dsvmt::queryPfn(Pfn pfn) const
+{
+    auto leaf = leaves_.find(granuleOf(pfn));
+    if (leaf != leaves_.end()) {
+        unsigned bit = pfn & 511;
+        return (leaf->second[bit / 64] >> (bit % 64)) & 1;
+    }
+    auto h2 = huge2m_.find(granuleOf(pfn));
+    if (h2 != huge2m_.end())
+        return h2->second;
+    auto h1 = huge1g_.find(gigOf(pfn));
+    if (h1 != huge1g_.end())
+        return h1->second;
+    return false;
+}
+
+bool
+Dsvmt::queryVa(sim::Addr va) const
+{
+    if (!kernel::inDirectMap(va))
+        return false;
+    return queryPfn(kernel::directMapPfn(va));
+}
+
+unsigned
+Dsvmt::walkLevels(Pfn pfn) const
+{
+    if (leaves_.count(granuleOf(pfn)))
+        return 3;
+    if (huge2m_.count(granuleOf(pfn)))
+        return 2;
+    return 1;
+}
+
+std::size_t
+Dsvmt::memoryBytes() const
+{
+    return leaves_.size() * sizeof(Leaf) + huge2m_.size() +
+           huge1g_.size();
+}
+
+void
+Dsvmt::clear()
+{
+    leaves_.clear();
+    huge2m_.clear();
+    huge1g_.clear();
+}
+
+} // namespace perspective::core

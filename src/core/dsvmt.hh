@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Data Speculation View Metadata Table (DSVMT, Section 6.2).
+ *
+ * The in-memory structure the DSV cache fills from: a per-domain
+ * three-level radix tree over the direct map supporting the three
+ * contemporary page sizes (4 KB leaf bits, 2 MB and 1 GB aggregate
+ * entries). Leaf entries are a single bit: "does this page belong to
+ * the domain's DSV". PerspectivePolicy keeps one DSVMT per domain in
+ * sync with the OwnershipMap.
+ */
+
+#ifndef PERSPECTIVE_CORE_DSVMT_HH
+#define PERSPECTIVE_CORE_DSVMT_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "kernel/types.hh"
+#include "sim/types.hh"
+
+namespace perspective::core
+{
+
+/** One domain's three-level DSV metadata tree. */
+class Dsvmt
+{
+  public:
+    /** Mark the 4 KB page @p pfn as in/out of the DSV. */
+    void setPage(kernel::Pfn pfn, bool in_dsv);
+
+    /** Promote an aligned 2 MB region (512 pages) wholesale. */
+    void set2M(kernel::Pfn first_pfn, bool in_dsv);
+
+    /** Promote an aligned 1 GB region wholesale. */
+    void set1G(kernel::Pfn first_pfn, bool in_dsv);
+
+    /** Query a direct-map VA. */
+    bool queryVa(sim::Addr va) const;
+    bool queryPfn(kernel::Pfn pfn) const;
+
+    /** Number of radix levels a hardware walk of @p pfn touches
+     * (1 for a 1 GB hit, 2 for 2 MB, 3 for a leaf). */
+    unsigned walkLevels(kernel::Pfn pfn) const;
+
+    /** Approximate resident size of the tree in bytes (for the
+     * memory-overhead characterization). */
+    std::size_t memoryBytes() const;
+
+    void clear();
+
+  private:
+    /** 512 leaf bits covering one 2 MB granule. */
+    using Leaf = std::array<std::uint64_t, 8>;
+
+    static std::uint64_t granuleOf(kernel::Pfn pfn)
+    {
+        return pfn >> 9;
+    }
+    static std::uint64_t gigOf(kernel::Pfn pfn) { return pfn >> 18; }
+
+    std::unordered_map<std::uint64_t, Leaf> leaves_;   // by granule
+    std::unordered_map<std::uint64_t, bool> huge2m_;   // by granule
+    std::unordered_map<std::uint64_t, bool> huge1g_;   // by gig
+};
+
+} // namespace perspective::core
+
+#endif // PERSPECTIVE_CORE_DSVMT_HH

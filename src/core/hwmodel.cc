@@ -1,0 +1,71 @@
+#include "hwmodel.hh"
+
+#include <cmath>
+
+namespace perspective::core
+{
+
+namespace
+{
+
+// Calibration constants for a 22 nm high-performance node. The cell
+// area follows published 22 nm SRAM bitcell sizes (~0.1 um^2) with a
+// periphery factor; timing/energy/leakage constants are fitted so a
+// 128x53b 4-way structure lands on CACTI 7's output for the same
+// geometry (Table 9.1).
+constexpr double kCellAreaUm2 = 0.105;   // 6T bitcell @22nm
+constexpr double kPeriphFactor = 2.67;   // decoders, comparators, IO
+constexpr double kTagOverheadPerWay = 14; // comparator bits per way
+constexpr double kBaseAccessPs = 78.0;
+constexpr double kRcPsPerSqrtBit = 0.39;
+constexpr double kEnergyPjPerBitRead = 0.0034;
+constexpr double kEnergyPjBase = 0.31;
+constexpr double kLeakMwPerKbit = 0.089;
+constexpr double kLeakMwBase = 0.02;
+
+} // namespace
+
+SramCharacteristics
+characterizeSram(const SramGeometry &geom)
+{
+    double scale = geom.nodeNm / 22.0;
+    double data_bits =
+        static_cast<double>(geom.entries) * geom.bitsPerEntry;
+    double tag_bits = kTagOverheadPerWay * geom.assoc *
+                      (static_cast<double>(geom.entries) / geom.assoc);
+    double total_bits = data_bits + tag_bits;
+
+    SramCharacteristics c;
+    c.areaMm2 = total_bits * kCellAreaUm2 * kPeriphFactor * 1e-6 *
+                scale * scale;
+    c.accessPs = (kBaseAccessPs +
+                  kRcPsPerSqrtBit * std::sqrt(total_bits)) *
+                 scale;
+    // A set-associative read switches one set's ways plus tags.
+    double bits_read = static_cast<double>(geom.bitsPerEntry +
+                                           kTagOverheadPerWay) *
+                       geom.assoc;
+    c.dynEnergyPj = kEnergyPjBase +
+                    bits_read * kEnergyPjPerBitRead * scale;
+    c.leakPowerMw = kLeakMwBase +
+                    total_bits / 1024.0 * kLeakMwPerKbit * scale;
+    return c;
+}
+
+SramGeometry
+isvCacheGeometry()
+{
+    // 128 entries, 32 sets, 4-way; 57 bits per entry (tag + ASID +
+    // 16 ISV bits).
+    return {"ISV Cache", 128, 57, 4, 22.0};
+}
+
+SramGeometry
+dsvCacheGeometry()
+{
+    // 128 entries, 32 sets, 4-way; 53 bits per entry (tag + ASID +
+    // in-DSV bit).
+    return {"DSV Cache", 128, 53, 4, 22.0};
+}
+
+} // namespace perspective::core

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Analytic SRAM characterization model in the spirit of CACTI 7,
+ * calibrated at the 22 nm node, used to regenerate Table 9.1 (area,
+ * access time, dynamic energy, and leakage power of the ISV and DSV
+ * caches).
+ */
+
+#ifndef PERSPECTIVE_CORE_HWMODEL_HH
+#define PERSPECTIVE_CORE_HWMODEL_HH
+
+#include <cstdint>
+#include <string>
+
+namespace perspective::core
+{
+
+/** Characterization of one SRAM structure. */
+struct SramCharacteristics
+{
+    double areaMm2 = 0;      ///< total cell+periphery area
+    double accessPs = 0;     ///< access time in picoseconds
+    double dynEnergyPj = 0;  ///< energy per access
+    double leakPowerMw = 0;  ///< static leakage
+};
+
+/** Geometry of a tagged SRAM lookup structure. */
+struct SramGeometry
+{
+    std::string name;
+    std::uint32_t entries = 128;
+    std::uint32_t bitsPerEntry = 53;
+    std::uint32_t assoc = 4;
+    double nodeNm = 22.0;
+};
+
+/**
+ * Characterize @p geom with a CACTI-class analytic model: area scales
+ * with bit count plus per-way comparator overhead; access time with
+ * wordline/bitline RC (sqrt of array size); energy with bits switched
+ * per access; leakage with total transistor count.
+ */
+SramCharacteristics characterizeSram(const SramGeometry &geom);
+
+/** Table 7.1 geometries for Perspective's two structures. */
+SramGeometry isvCacheGeometry();
+SramGeometry dsvCacheGeometry();
+
+} // namespace perspective::core
+
+#endif // PERSPECTIVE_CORE_HWMODEL_HH

@@ -1,0 +1,107 @@
+#include "isv.hh"
+
+#include <cassert>
+
+namespace perspective::core
+{
+
+using namespace sim;
+
+IsvView::IsvView(const Program &prog)
+    : prog_(prog), textBase_(kKernelTextBase)
+{
+    assert(prog.kernelTextEnd() >= textBase_);
+    numInsts_ = static_cast<std::size_t>(
+        (prog.kernelTextEnd() - textBase_) / kInstBytes);
+    bits_.assign((numInsts_ + 63) / 64, 0);
+}
+
+std::size_t
+IsvView::bitIndex(Addr pc) const
+{
+    return static_cast<std::size_t>((pc - textBase_) / kInstBytes);
+}
+
+void
+IsvView::setFunctionBits(FuncId f, bool value)
+{
+    const Function &fn = prog_.func(f);
+    for (std::uint32_t i = 0; i < fn.body.size(); ++i) {
+        std::size_t bit = bitIndex(fn.instAddr(i));
+        if (bit >= numInsts_)
+            continue;
+        if (value)
+            bits_[bit / 64] |= 1ull << (bit % 64);
+        else
+            bits_[bit / 64] &= ~(1ull << (bit % 64));
+    }
+}
+
+void
+IsvView::includeFunction(FuncId f)
+{
+    if (funcs_.insert(f).second) {
+        setFunctionBits(f, true);
+        ++epoch_;
+    }
+}
+
+void
+IsvView::excludeFunction(FuncId f)
+{
+    if (funcs_.erase(f) > 0) {
+        setFunctionBits(f, false);
+        ++epoch_;
+    }
+}
+
+bool
+IsvView::contains(Addr pc) const
+{
+    if (pc < textBase_)
+        return false;
+    std::size_t bit = bitIndex(pc);
+    if (bit >= numInsts_)
+        return false;
+    return (bits_[bit / 64] >> (bit % 64)) & 1;
+}
+
+bool
+IsvView::containsFunction(FuncId f) const
+{
+    return funcs_.count(f) > 0;
+}
+
+void
+IsvView::intersectWith(const IsvView &other)
+{
+    std::vector<FuncId> drop;
+    for (FuncId f : funcs_) {
+        if (!other.containsFunction(f))
+            drop.push_back(f);
+    }
+    for (FuncId f : drop)
+        excludeFunction(f);
+}
+
+void
+IsvView::unionWith(const IsvView &other)
+{
+    for (FuncId f : other.funcs_)
+        includeFunction(f);
+}
+
+std::array<std::uint64_t, 2>
+IsvView::regionBits(Addr pc, Addr region_bytes) const
+{
+    Addr base = pc & ~(region_bytes - 1);
+    std::array<std::uint64_t, 2> out{};
+    unsigned n = static_cast<unsigned>(region_bytes / kInstBytes);
+    for (unsigned i = 0; i < n && i < 128; ++i) {
+        if (contains(base + Addr{i} * kInstBytes))
+            out[i / 64] |= 1ull << (i % 64);
+    }
+    return out;
+}
+
+} // namespace perspective::core

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Instruction Speculation Views (ISVs).
+ *
+ * An ISV defines, per execution context, the set of kernel
+ * instructions whose transmitters may execute speculatively
+ * (Section 5.1). Views are stored at instruction granularity as
+ * bitmaps shadowing kernel text ("ISV pages" at a fixed VA offset,
+ * Section 6.2) and are *dynamically reconfigurable*: functions can be
+ * removed at runtime to patch a newly-disclosed gadget without a
+ * kernel update (Section 5.4).
+ */
+
+#ifndef PERSPECTIVE_CORE_ISV_HH
+#define PERSPECTIVE_CORE_ISV_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/program.hh"
+#include "sim/types.hh"
+
+namespace perspective::core
+{
+
+/** One context's instruction speculation view. */
+class IsvView
+{
+  public:
+    /**
+     * @param prog laid-out program (kernel text defines the span)
+     */
+    explicit IsvView(const sim::Program &prog);
+
+    /** Add every instruction of @p f to the view. */
+    void includeFunction(sim::FuncId f);
+
+    /**
+     * Remove @p f from the view — the swift-patching interface: a
+     * vulnerable function can be excluded at runtime, immediately
+     * blocking speculative execution of its transmitters.
+     */
+    void excludeFunction(sim::FuncId f);
+
+    /** True when instruction VA @p pc may transmit speculatively. */
+    bool contains(sim::Addr pc) const;
+
+    /** True when the whole function is in the view. */
+    bool containsFunction(sim::FuncId f) const;
+
+    /**
+     * Restrict this view to functions also in @p other. This is the
+     * administrator interface of Section 5.4: a system-wide policy
+     * view ("no tenant may speculate into these subsystems") can be
+     * intersected into every application's personalized view.
+     */
+    void intersectWith(const IsvView &other);
+
+    /** Add every function of @p other (merging two trace profiles). */
+    void unionWith(const IsvView &other);
+
+    /** Number of kernel functions currently included. */
+    std::size_t numFunctions() const { return funcs_.size(); }
+
+    /** Included function ids (for audits and reporting). */
+    const std::unordered_set<sim::FuncId> &functions() const
+    {
+        return funcs_;
+    }
+
+    /**
+     * The per-instruction ISV bits covering the code region of
+     * @p region_bytes containing @p pc — the unit an ISV-cache fill
+     * transfers from the ISV shadow page (Section 6.2).
+     */
+    std::array<std::uint64_t, 2>
+    regionBits(sim::Addr pc, sim::Addr region_bytes) const;
+
+    /** Monotone version; bumped on every reconfiguration so cached
+     * entries can be shot down. */
+    std::uint64_t epoch() const { return epoch_; }
+
+    const sim::Program &program() const { return prog_; }
+
+  private:
+    std::size_t bitIndex(sim::Addr pc) const;
+    void setFunctionBits(sim::FuncId f, bool value);
+
+    const sim::Program &prog_;
+    sim::Addr textBase_;
+    std::size_t numInsts_;
+    std::vector<std::uint64_t> bits_;
+    std::unordered_set<sim::FuncId> funcs_;
+    std::uint64_t epoch_ = 0;
+};
+
+} // namespace perspective::core
+
+#endif // PERSPECTIVE_CORE_ISV_HH

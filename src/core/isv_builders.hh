@@ -1,0 +1,101 @@
+/**
+ * @file
+ * ISV generation via system-call interposition (Section 5.3).
+ *
+ * StaticIsvBuilder mirrors the radare2-based flow: identify the
+ * system calls a binary can issue (by disassembling the user driver
+ * for calls into kernel entry points), then walk the kernel's direct
+ * call graph from those entries. Functions reachable only through
+ * indirect calls are NOT included — the fundamental limitation of
+ * static analysis the paper discusses.
+ *
+ * DynamicIsvBuilder mirrors the tracing flow: it is fed function-
+ * entry events from instrumented (interpreted) runs of the workload
+ * and emits a view containing exactly the functions observed,
+ * including indirect-call targets.
+ */
+
+#ifndef PERSPECTIVE_CORE_ISV_BUILDERS_HH
+#define PERSPECTIVE_CORE_ISV_BUILDERS_HH
+
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "isv.hh"
+#include "kernel/image.hh"
+#include "kernel/syscalls.hh"
+
+namespace perspective::core
+{
+
+/** Static (binary-analysis) ISV generation. */
+class StaticIsvBuilder
+{
+  public:
+    explicit StaticIsvBuilder(const kernel::KernelImage &img)
+        : img_(img)
+    {
+    }
+
+    /**
+     * Disassemble userspace functions of @p prog and report the set
+     * of syscalls whose kernel entry points they call.
+     */
+    std::set<kernel::Sys>
+    syscallsOfBinary(const std::vector<sim::FuncId> &user_funcs) const;
+
+    /** Direct-call-graph closure from a set of root functions. */
+    std::unordered_set<sim::FuncId>
+    closure(const std::vector<sim::FuncId> &roots) const;
+
+    /** Build the static ISV for an application's syscall set. */
+    IsvView build(const std::set<kernel::Sys> &syscalls) const;
+
+  private:
+    const kernel::KernelImage &img_;
+};
+
+/** Dynamic (trace-driven) ISV generation. */
+class DynamicIsvBuilder
+{
+  public:
+    explicit DynamicIsvBuilder(const kernel::KernelImage &img)
+        : img_(img)
+    {
+    }
+
+    /** Record one function-entry event from the tracer. */
+    void
+    observe(sim::FuncId f)
+    {
+        if (f < img_.numKernelFunctions())
+            seen_.insert(f);
+    }
+
+    /** Number of distinct kernel functions observed so far. */
+    std::size_t numObserved() const { return seen_.size(); }
+    const std::unordered_set<sim::FuncId> &observed() const
+    {
+        return seen_;
+    }
+
+    /** Emit the personalized dynamic ISV. */
+    IsvView build() const;
+
+  private:
+    const kernel::KernelImage &img_;
+    std::unordered_set<sim::FuncId> seen_;
+};
+
+/**
+ * Harden a view with audit results (Section 5.4, "Enhancing ISVs with
+ * Auditing"): every function the scanner flagged is excluded,
+ * yielding ISV++.
+ */
+void applyAudit(IsvView &view,
+                const std::vector<sim::FuncId> &vulnerable);
+
+} // namespace perspective::core
+
+#endif // PERSPECTIVE_CORE_ISV_BUILDERS_HH

@@ -1,0 +1,154 @@
+#include "perspective.hh"
+
+namespace perspective::core
+{
+
+using kernel::DomainId;
+using kernel::kDomainReplicated;
+using kernel::kDomainUnknown;
+using sim::Gate;
+using sim::SpecContext;
+
+PerspectivePolicy::PerspectivePolicy(kernel::OwnershipMap &ownership,
+                                     PerspectiveConfig cfg,
+                                     std::string name)
+    : ownership_(ownership),
+      cfg_(cfg),
+      name_(std::move(name)),
+      isvCache_(cfg.isvCacheEntries, cfg.cacheAssoc),
+      dsvCache_(cfg.dsvCacheEntries, cfg.cacheAssoc)
+{
+    // Ownership changes shoot down stale DSV cache entries and the
+    // per-domain DSVMT mirrors, the software/hardware contract of
+    // Section 6.1.
+    ownership_.addListener([this](kernel::Pfn pfn) {
+        dsvCache_.invalidatePage(kernel::directMapVa(pfn));
+        DomainId owner = ownership_.ownerOf(pfn);
+        for (auto &[domain, tree] : dsvmts_) {
+            tree.setPage(pfn, owner == domain ||
+                                  owner == kDomainReplicated);
+        }
+    });
+}
+
+void
+PerspectivePolicy::registerContext(sim::Asid asid, DomainId domain,
+                                   const IsvView *isv)
+{
+    Context c;
+    c.domain = domain;
+    c.isv = isv;
+    c.isvEpochSeen = isv ? isv->epoch() : 0;
+    contexts_[asid] = c;
+
+    // Materialize the domain's DSVMT from current ownership (the OS
+    // builds the in-memory table when the context is created); the
+    // listener keeps it in sync afterwards.
+    auto [it, fresh] = dsvmts_.try_emplace(domain);
+    if (fresh) {
+        for (kernel::Pfn pfn = 0; pfn < ownership_.numFrames();
+             ++pfn) {
+            DomainId owner = ownership_.ownerOf(pfn);
+            if (owner == domain || owner == kDomainReplicated)
+                it->second.setPage(pfn, true);
+        }
+    }
+}
+
+bool
+PerspectivePolicy::inDsv(sim::Addr va, DomainId domain) const
+{
+    DomainId owner = ownership_.ownerOfVa(va);
+    if (owner == kDomainReplicated)
+        return true;
+    if (owner == kDomainUnknown)
+        return !cfg_.blockUnknown;
+    return owner == domain;
+}
+
+const Dsvmt &
+PerspectivePolicy::dsvmtOf(DomainId domain)
+{
+    Dsvmt &tree = dsvmts_[domain];
+    return tree;
+}
+
+Gate
+PerspectivePolicy::gateLoad(const SpecContext &ctx)
+{
+    // Perspective protects kernel execution; userspace speculation
+    // and non-speculative accesses proceed unimpeded.
+    if (!ctx.kernelMode || !ctx.speculative)
+        return Gate::Allow;
+
+    if (cfg_.flushOnContextSwitch && ctx.asid != lastAsid_) {
+        // Untagged hardware would have to flush on every switch.
+        isvCache_.invalidateAll();
+        dsvCache_.invalidateAll();
+    }
+    lastAsid_ = ctx.asid;
+
+    auto it = contexts_.find(ctx.asid);
+    if (it == contexts_.end()) {
+        // Unregistered context: conservatively block.
+        if (stats_)
+            stats_->inc("perspective.fence.unregistered");
+        return Gate::Block;
+    }
+    Context &c = it->second;
+
+    if (cfg_.enableIsv && c.isv) {
+        // A reconfigured view invalidates this context's entries.
+        if (c.isvEpochSeen != c.isv->epoch()) {
+            isvCache_.invalidateAsid(ctx.asid);
+            c.isvEpochSeen = c.isv->epoch();
+        }
+        HwLookup look = isvCache_.lookup(ctx.pc, ctx.asid, true,
+                                         ctx.now, ctx.firstCheck);
+        if (!look.hit) {
+            if (ctx.firstCheck) {
+                IsvRegionBits bits;
+                bits.bits = c.isv->regionBits(
+                    ctx.pc, IsvCache::kRegionBytes);
+                isvCache_.fill(ctx.pc, ctx.asid, bits,
+                               ctx.now + cfg_.fillLatency);
+                if (stats_) {
+                    stats_->inc("perspective.fence.isv");
+                    stats_->inc("perspective.fence.isv_miss");
+                }
+            }
+            return Gate::Block;
+        }
+        if (!look.allow) {
+            if (stats_ && ctx.firstCheck)
+                stats_->inc("perspective.fence.isv");
+            return Gate::Block;
+        }
+    }
+
+    if (cfg_.enableDsv && kernel::inDirectMap(ctx.dataVa)) {
+        HwLookup look = dsvCache_.lookup(ctx.dataVa, ctx.asid, true,
+                                         ctx.now, ctx.firstCheck);
+        if (!look.hit) {
+            if (ctx.firstCheck) {
+                dsvCache_.fill(ctx.dataVa, ctx.asid,
+                               inDsv(ctx.dataVa, c.domain),
+                               ctx.now + cfg_.fillLatency);
+                if (stats_) {
+                    stats_->inc("perspective.fence.dsv");
+                    stats_->inc("perspective.fence.dsv_miss");
+                }
+            }
+            return Gate::Block;
+        }
+        if (!look.allow) {
+            if (stats_ && ctx.firstCheck)
+                stats_->inc("perspective.fence.dsv");
+            return Gate::Block;
+        }
+    }
+
+    return Gate::Allow;
+}
+
+} // namespace perspective::core

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * PerspectivePolicy: the hardware protection mechanism of Perspective,
+ * plugged into the pipeline through the pliable SpeculationPolicy
+ * interface.
+ *
+ * For every speculative kernel-mode transmitter the policy performs:
+ *
+ *  1. the ISV check — is the *instruction* inside the context's
+ *     instruction speculation view? (ISV cache; miss -> block and
+ *     fill through the TLB path);
+ *  2. the DSV check — is the accessed *data page* inside the
+ *     context's data speculation view? (DSVMT cache; miss -> block
+ *     and fill; unknown-provenance memory always blocks).
+ *
+ * Blocked instructions stall until their Visibility Point, exactly
+ * the fence semantics of Section 6.2. Userspace execution and non-
+ * speculative accesses are never affected.
+ */
+
+#ifndef PERSPECTIVE_CORE_PERSPECTIVE_HH
+#define PERSPECTIVE_CORE_PERSPECTIVE_HH
+
+#include <string>
+#include <unordered_map>
+
+#include "dsvmt.hh"
+#include "hwcache.hh"
+#include "isv.hh"
+#include "kernel/ownership.hh"
+#include "sim/policy.hh"
+
+namespace perspective::core
+{
+
+/** Feature toggles (sensitivity analyses flip these). */
+struct PerspectiveConfig
+{
+    bool enableIsv = true;
+    bool enableDsv = true;
+    /** Block speculative access to unknown allocations (Section 9.2
+     * quantifies the cost of keeping this on). */
+    bool blockUnknown = true;
+    /** ISV/DSV cache refill latency (TLB + L2 access). */
+    sim::Cycle fillLatency = 14;
+    /** Hardware lookup structure geometry (Table 7.1 defaults). */
+    unsigned isvCacheEntries = 128;
+    unsigned dsvCacheEntries = 128;
+    unsigned cacheAssoc = 4;
+    /** Untagged-structure emulation: flush the ISV/DSV caches on
+     * every context switch. Section 6.2 tags entries with the ASID
+     * precisely to avoid this; the ablation quantifies the win. */
+    bool flushOnContextSwitch = false;
+};
+
+/** The Perspective hardware mechanism. */
+class PerspectivePolicy : public sim::SpeculationPolicy
+{
+  public:
+    /**
+     * @param ownership ground-truth frame ownership (the in-memory
+     *        DSVMT contents); the policy registers an invalidation
+     *        listener, so it must not outlive @p ownership.
+     */
+    PerspectivePolicy(kernel::OwnershipMap &ownership,
+                      PerspectiveConfig cfg = {},
+                      std::string name = "perspective");
+
+    /**
+     * Associate an execution context: its ASID, its ownership domain
+     * (DSV), and its instruction speculation view (may be null when
+     * running DSV-only configurations).
+     */
+    void registerContext(sim::Asid asid, kernel::DomainId domain,
+                         const IsvView *isv);
+
+    sim::Gate gateLoad(const sim::SpecContext &ctx) override;
+    const char *name() const override { return name_.c_str(); }
+
+    IsvCache &isvCache() { return isvCache_; }
+    DsvCache &dsvCache() { return dsvCache_; }
+
+    /** Per-domain DSVMT mirror (kept in sync with ownership). */
+    const Dsvmt &dsvmtOf(kernel::DomainId domain);
+
+    /** Ground-truth DSV membership for @p va under @p domain. */
+    bool inDsv(sim::Addr va, kernel::DomainId domain) const;
+
+    const PerspectiveConfig &config() const { return cfg_; }
+
+  private:
+    struct Context
+    {
+        kernel::DomainId domain = kernel::kDomainUnknown;
+        const IsvView *isv = nullptr;
+        std::uint64_t isvEpochSeen = 0;
+    };
+
+    kernel::OwnershipMap &ownership_;
+    PerspectiveConfig cfg_;
+    std::string name_;
+    IsvCache isvCache_;
+    DsvCache dsvCache_;
+    std::unordered_map<sim::Asid, Context> contexts_;
+    std::unordered_map<kernel::DomainId, Dsvmt> dsvmts_;
+    sim::Asid lastAsid_ = 0;
+};
+
+} // namespace perspective::core
+
+#endif // PERSPECTIVE_CORE_PERSPECTIVE_HH

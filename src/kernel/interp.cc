@@ -1,0 +1,125 @@
+#include "interp.hh"
+
+#include <vector>
+
+namespace perspective::kernel
+{
+
+using namespace sim;
+
+Interpreter::Result
+Interpreter::run(FuncId entry, std::uint64_t max_uops,
+                 const std::function<void(FuncId)> &on_func)
+{
+    struct Frame
+    {
+        FuncId func;
+        std::uint32_t idx;
+    };
+    std::vector<Frame> stack;
+    FuncId func = entry;
+    std::uint32_t idx = 0;
+    Result res;
+
+    if (on_func)
+        on_func(func);
+
+    while (res.uops < max_uops) {
+        const Function &f = prog_.func(func);
+        if (idx >= f.body.size()) {
+            // Defensive: treat running off the end as a return.
+            if (stack.empty()) {
+                res.completed = true;
+                return res;
+            }
+            func = stack.back().func;
+            idx = stack.back().idx;
+            stack.pop_back();
+            continue;
+        }
+        const MicroOp &op = f.body[idx];
+        ++res.uops;
+
+        switch (op.op) {
+          case Op::Nop:
+          case Op::Fence:
+            ++idx;
+            break;
+          case Op::IntAlu:
+          case Op::IntMul: {
+            std::uint64_t a =
+                op.src1 != kNoReg ? regs_[op.src1] : 0;
+            std::uint64_t b =
+                op.src2 != kNoReg
+                    ? regs_[op.src2]
+                    : static_cast<std::uint64_t>(op.imm);
+            regs_[op.dst] = evalAluOp(op, a, b);
+            ++idx;
+            break;
+          }
+          case Op::Load: {
+            Addr base = op.src1 != kNoReg ? regs_[op.src1] : 0;
+            regs_[op.dst] = mem_.read(
+                base + static_cast<std::uint64_t>(op.imm));
+            ++idx;
+            break;
+          }
+          case Op::Store: {
+            Addr base = op.src1 != kNoReg ? regs_[op.src1] : 0;
+            if (!dryStores_) {
+                mem_.write(base + static_cast<std::uint64_t>(op.imm),
+                           regs_[op.src2]);
+            }
+            ++idx;
+            break;
+          }
+          case Op::Branch: {
+            std::uint64_t a = regs_[op.src1];
+            std::uint64_t b =
+                op.src2 != kNoReg
+                    ? regs_[op.src2]
+                    : static_cast<std::uint64_t>(op.imm);
+            idx = evalCondOp(op.cond, a, b) ? op.target : idx + 1;
+            break;
+          }
+          case Op::Jump:
+            idx = op.target;
+            break;
+          case Op::Call: {
+            stack.push_back({func, idx + 1});
+            func = op.callee;
+            idx = 0;
+            if (on_func)
+                on_func(func);
+            break;
+          }
+          case Op::IndirectCall: {
+            FuncId target = static_cast<FuncId>(regs_[op.src1]);
+            if (target >= prog_.numFunctions()) {
+                // Wild pointer (possible under fuzzing): skip.
+                ++idx;
+                break;
+            }
+            stack.push_back({func, idx + 1});
+            func = target;
+            idx = 0;
+            if (on_func)
+                on_func(func);
+            break;
+          }
+          case Op::Return: {
+            if (stack.empty()) {
+                res.completed = true;
+                return res;
+            }
+            func = stack.back().func;
+            idx = stack.back().idx;
+            stack.pop_back();
+            break;
+          }
+        }
+    }
+    return res; // budget exhausted
+}
+
+} // namespace perspective::kernel

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Architectural interpreter for the micro-op IR. Executes exactly the
+ * committed-path semantics of the pipeline (no speculation, no
+ * timing) and reports which functions run. It is the engine behind:
+ *
+ *  - the ftrace-style tracer that builds dynamic ISVs (Section 5.3),
+ *  - the Kasper/Syzkaller-style fuzzing loop of the gadget scanner.
+ */
+
+#ifndef PERSPECTIVE_KERNEL_INTERP_HH
+#define PERSPECTIVE_KERNEL_INTERP_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+
+#include "sim/memory.hh"
+#include "sim/program.hh"
+#include "types.hh"
+
+namespace perspective::kernel
+{
+
+/** Architectural executor over a Program. */
+class Interpreter
+{
+  public:
+    Interpreter(const sim::Program &prog, sim::Memory &mem)
+        : prog_(prog), mem_(mem)
+    {
+    }
+
+    std::uint64_t regValue(unsigned r) const { return regs_[r]; }
+    void setReg(unsigned r, std::uint64_t v) { regs_[r] = v; }
+
+    /** When set, stores are discarded (fuzzing must not corrupt the
+     * semantic kernel state). */
+    void setDryStores(bool dry) { dryStores_ = dry; }
+
+    struct Result
+    {
+        std::uint64_t uops = 0;
+        bool completed = false; ///< false when maxUops was hit
+    };
+
+    /**
+     * Execute @p entry until its final return. @p on_func (optional)
+     * fires on entry to every function, including @p entry itself.
+     */
+    Result run(sim::FuncId entry, std::uint64_t max_uops = 1'000'000,
+               const std::function<void(sim::FuncId)> &on_func = {});
+
+  private:
+    const sim::Program &prog_;
+    sim::Memory &mem_;
+    std::array<std::uint64_t, sim::kNumRegs> regs_{};
+    bool dryStores_ = false;
+};
+
+} // namespace perspective::kernel
+
+#endif // PERSPECTIVE_KERNEL_INTERP_HH

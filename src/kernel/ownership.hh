@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Per-frame ownership: which domain (cgroup / kernel thread) a
+ * physical page belongs to. This is the ground truth that Data
+ * Speculation Views are built from: a context's DSV is exactly the set
+ * of direct-map pages whose owner equals the context's domain.
+ */
+
+#ifndef PERSPECTIVE_KERNEL_OWNERSHIP_HH
+#define PERSPECTIVE_KERNEL_OWNERSHIP_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "types.hh"
+
+namespace perspective::kernel
+{
+
+/** Frame-indexed owner table covering all simulated physical memory. */
+class OwnershipMap
+{
+  public:
+    explicit OwnershipMap(std::uint64_t num_frames)
+        : owner_(num_frames, kDomainUnknown)
+    {
+    }
+
+    DomainId
+    ownerOf(Pfn pfn) const
+    {
+        return pfn < owner_.size() ? owner_[pfn] : kDomainUnknown;
+    }
+
+    /** Owner of the frame backing direct-map address @p va. */
+    DomainId
+    ownerOfVa(sim::Addr va) const
+    {
+        if (!inDirectMap(va))
+            return kDomainUnknown;
+        return ownerOf(directMapPfn(va));
+    }
+
+    void
+    assign(Pfn pfn, DomainId domain)
+    {
+        if (pfn < owner_.size())
+            owner_[pfn] = domain;
+        ++epoch_;
+        for (auto &l : listeners_)
+            l(pfn);
+    }
+
+    /**
+     * Register a change listener (e.g. a DSVMT cache that must shoot
+     * down entries for reassigned frames).
+     */
+    void
+    addListener(std::function<void(Pfn)> fn)
+    {
+        listeners_.push_back(std::move(fn));
+    }
+
+    void
+    assignRange(Pfn pfn, std::uint64_t count, DomainId domain)
+    {
+        for (std::uint64_t i = 0; i < count; ++i)
+            assign(pfn + i, domain);
+    }
+
+    void
+    release(Pfn pfn)
+    {
+        assign(pfn, kDomainUnknown);
+    }
+
+    std::uint64_t numFrames() const { return owner_.size(); }
+
+    /** Bumped on every change; DSV caches use it to invalidate. */
+    std::uint64_t epoch() const { return epoch_; }
+
+  private:
+    std::vector<DomainId> owner_;
+    std::uint64_t epoch_ = 0;
+    std::vector<std::function<void(Pfn)>> listeners_;
+};
+
+} // namespace perspective::kernel
+
+#endif // PERSPECTIVE_KERNEL_OWNERSHIP_HH

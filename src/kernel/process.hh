@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Task (process) state: kernel-side resources a process owns and the
+ * register conventions used when its syscalls run on the pipeline.
+ */
+
+#ifndef PERSPECTIVE_KERNEL_PROCESS_HH
+#define PERSPECTIVE_KERNEL_PROCESS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "types.hh"
+
+namespace perspective::kernel
+{
+
+/**
+ * Register conventions shared between workload drivers and generated
+ * kernel function bodies.
+ */
+namespace reg
+{
+inline constexpr sim::RegId kCtx = 10;    ///< process kernel-data base
+inline constexpr sim::RegId kArg0 = 11;
+inline constexpr sim::RegId kArg1 = 12;
+inline constexpr sim::RegId kArg2 = 13;
+inline constexpr sim::RegId kFault = 14;  ///< error-injection knob
+inline constexpr sim::RegId kVariant = 15;///< path-variant knob
+inline constexpr sim::RegId kPerCpu = 16; ///< per-cpu area base
+inline constexpr sim::RegId kRet = 9;     ///< syscall return value
+} // namespace reg
+
+/** One task. All addresses are direct-map VAs. */
+struct Task
+{
+    Pid pid = 0;
+    CgroupId cgroup = 0;
+    DomainId domain = kDomainUnknown;
+    sim::Asid asid = 0;
+
+    /** Context block: 4 pages of per-task kernel data (task struct,
+     * fd table, cred, ...) that generated bodies address via r10. */
+    Addr ctxVa = 0;
+    Pfn ctxPfn = 0;
+
+    /** Kernel stack (vmalloc-style, tracked into the DSV). */
+    Addr stackTopVa = 0;
+    Pfn stackPfn = 0;
+
+    /** Pages explicitly mapped by the process (mmap/page faults). */
+    std::vector<Pfn> userPages;
+
+    /** Live kmalloc'd objects (address, size-class index). */
+    std::vector<std::pair<Addr, unsigned>> slabObjects;
+
+    bool alive = true;
+};
+
+} // namespace perspective::kernel
+
+#endif // PERSPECTIVE_KERNEL_PROCESS_HH

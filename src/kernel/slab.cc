@@ -1,0 +1,143 @@
+#include "slab.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace perspective::kernel
+{
+
+namespace
+{
+
+/** Key used for the shared partial list in normal (insecure) mode. */
+constexpr DomainId kSharedKey = kDomainUnknown;
+
+} // namespace
+
+SlabCache::SlabCache(std::string name, std::uint32_t object_size,
+                     BuddyAllocator &buddy, bool secure)
+    : name_(std::move(name)),
+      objectSize_(object_size),
+      buddy_(buddy),
+      secure_(secure)
+{
+    assert(object_size >= 8 && object_size <= sim::kPageSize);
+}
+
+std::uint32_t
+SlabCache::slotsPerPage() const
+{
+    return static_cast<std::uint32_t>(sim::kPageSize / objectSize_);
+}
+
+SlabCache::Page *
+SlabCache::grabPartialPage(DomainId domain)
+{
+    DomainId key = secure_ ? domain : kSharedKey;
+    auto &list = partial_[key];
+    while (!list.empty()) {
+        auto it = pages_.find(list.back());
+        if (it == pages_.end() ||
+            it->second.usedCount == slotsPerPage()) {
+            list.pop_back(); // stale entry
+            continue;
+        }
+        return &it->second;
+    }
+
+    // Need a fresh backing page. In secure mode it is owned by the
+    // requesting domain; in normal mode the first allocator is
+    // charged (collocation hazard).
+    auto pfn = buddy_.allocPages(0, domain);
+    if (!pfn)
+        return nullptr;
+    Page page;
+    page.pfn = *pfn;
+    page.domain = domain;
+    page.used.assign(slotsPerPage(), false);
+    auto [it, ok] = pages_.emplace(*pfn, std::move(page));
+    assert(ok);
+    list.push_back(*pfn);
+    return &it->second;
+}
+
+sim::Addr
+SlabCache::alloc(DomainId domain)
+{
+    Page *page = grabPartialPage(domain);
+    if (!page)
+        return 0;
+    auto slot_it =
+        std::find(page->used.begin(), page->used.end(), false);
+    assert(slot_it != page->used.end());
+    std::uint32_t slot =
+        static_cast<std::uint32_t>(slot_it - page->used.begin());
+    page->used[slot] = true;
+    ++page->usedCount;
+    ++active_;
+    ++allocs_;
+
+    if (page->usedCount == slotsPerPage()) {
+        DomainId key = secure_ ? page->domain : kSharedKey;
+        auto &list = partial_[key];
+        list.erase(std::remove(list.begin(), list.end(), page->pfn),
+                   list.end());
+    }
+    return directMapVa(page->pfn) + Addr{slot} * objectSize_;
+}
+
+void
+SlabCache::free(sim::Addr va)
+{
+    Pfn pfn = directMapPfn(va);
+    auto it = pages_.find(pfn);
+    assert(it != pages_.end() && "free of non-slab address");
+    Page &page = it->second;
+    std::uint32_t slot = static_cast<std::uint32_t>(
+        (va - directMapVa(pfn)) / objectSize_);
+    assert(page.used[slot] && "double free");
+    page.used[slot] = false;
+    bool was_full = page.usedCount == slotsPerPage();
+    --page.usedCount;
+    --active_;
+    ++frees_;
+
+    DomainId key = secure_ ? page.domain : kSharedKey;
+    if (page.usedCount == 0) {
+        // Drained: hand the page back to the buddy allocator. This is
+        // the page-level operation that needs a domain reassignment
+        // under the secure slab allocator.
+        auto &list = partial_[key];
+        list.erase(std::remove(list.begin(), list.end(), pfn),
+                   list.end());
+        buddy_.freePages(pfn, 0);
+        pages_.erase(it);
+        ++reassigns_;
+        return;
+    }
+    if (was_full)
+        partial_[key].push_back(pfn);
+}
+
+std::uint64_t
+SlabCache::totalSlots() const
+{
+    return static_cast<std::uint64_t>(pages_.size()) * slotsPerPage();
+}
+
+double
+SlabCache::utilization() const
+{
+    std::uint64_t slots = totalSlots();
+    return slots == 0 ? 1.0
+                      : static_cast<double>(active_) / slots;
+}
+
+DomainId
+SlabCache::pageDomain(sim::Addr va) const
+{
+    auto it = pages_.find(directMapPfn(va));
+    return it == pages_.end() ? kDomainUnknown : it->second.domain;
+}
+
+} // namespace perspective::kernel

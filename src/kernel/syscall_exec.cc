@@ -1,0 +1,299 @@
+#include "syscall_exec.hh"
+
+#include <stdexcept>
+
+#include "process.hh"
+
+namespace perspective::kernel
+{
+
+namespace
+{
+
+/** Clamp a copy length (in cache lines) to something sane. */
+std::uint64_t
+clampLines(std::uint64_t v, std::uint64_t dflt, std::uint64_t max)
+{
+    if (v == 0)
+        return dflt;
+    return v > max ? max : v;
+}
+
+} // namespace
+
+Addr
+SyscallExecutor::fileBuf(Pid pid)
+{
+    TaskExtra &ex = extra(pid);
+    if (!ex.hasFileBuf) {
+        auto pfn = ks_.buddy().allocPages(2, ks_.domainOf(pid));
+        if (!pfn)
+            throw std::runtime_error("oom: file buffer");
+        ex.fileBufPfn = *pfn;
+        ex.hasFileBuf = true;
+    }
+    return directMapVa(ex.fileBufPfn);
+}
+
+Addr
+SyscallExecutor::sockBuf(Pid pid)
+{
+    TaskExtra &ex = extra(pid);
+    if (!ex.hasSockBuf) {
+        auto pfn = ks_.buddy().allocPages(2, ks_.domainOf(pid));
+        if (!pfn)
+            throw std::runtime_error("oom: socket buffer");
+        ex.sockBufPfn = *pfn;
+        ex.hasSockBuf = true;
+    }
+    return directMapVa(ex.sockBufPfn);
+}
+
+Addr
+SyscallExecutor::bigRegion(Pid pid)
+{
+    TaskExtra &ex = extra(pid);
+    if (!ex.hasBigRegion) {
+        auto pfn = ks_.buddy().allocPages(5, ks_.domainOf(pid));
+        if (!pfn)
+            throw std::runtime_error("oom: big region");
+        ex.bigRegionPfn = *pfn;
+        ex.hasBigRegion = true;
+    }
+    return directMapVa(ex.bigRegionPfn);
+}
+
+Addr
+SyscallExecutor::fdRegion(Pid pid)
+{
+    TaskExtra &ex = extra(pid);
+    if (!ex.hasFdRegion) {
+        auto pfn = ks_.buddy().allocPages(6, ks_.domainOf(pid));
+        if (!pfn)
+            throw std::runtime_error("oom: fd region");
+        ex.fdRegionPfn = *pfn;
+        ex.hasFdRegion = true;
+        // Each 192-byte file struct starts with a pointer to another
+        // struct in the window (ops/inode links) for the poll scan's
+        // pointer chase.
+        Addr base = directMapVa(*pfn);
+        for (unsigned i = 0; i < 512; ++i) {
+            ks_.memory().write(base + Addr{i} * 192,
+                               base + ((i * 131 + 7) % 170) * 192);
+        }
+    }
+    return directMapVa(ex.fdRegionPfn);
+}
+
+PreparedSyscall
+SyscallExecutor::prepare(Pid pid, const SyscallInvocation &inv)
+{
+    Task &t = ks_.task(pid);
+    DomainId dom = t.domain;
+    PreparedSyscall p;
+    auto set = [&p](unsigned r, std::uint64_t v) {
+        p.regs.emplace_back(r, v);
+    };
+
+    // Baseline register conventions for every syscall.
+    set(reg::kCtx, t.ctxVa);
+    set(reg::kPerCpu, ks_.perCpuBase());
+    set(reg::kFault, 0);
+    set(reg::kVariant, 0);
+    set(reg::kArg0, inv.arg0);
+    set(reg::kArg1, inv.arg1);
+    set(reg::kArg2, inv.arg2);
+
+    pendingChild_ = 0;
+    pendingKmalloc_ = 0;
+    pendingChildRegionValid_ = false;
+    pendingPageValid_ = false;
+
+    switch (inv.sys) {
+      case Sys::Mmap:
+      case Sys::Brk: {
+        unsigned order =
+            inv.arg0 > 5 ? 5 : static_cast<unsigned>(inv.arg0);
+        auto pfn = ks_.buddy().allocPages(order, dom);
+        if (!pfn)
+            throw std::runtime_error("oom: mmap");
+        t.userPages.push_back(*pfn); // freed with the process
+        // Record the order alongside by pushing each frame.
+        for (std::uint64_t i = 1; i < (1ull << order); ++i)
+            t.userPages.push_back(*pfn + i);
+        set(reg::kArg1, 1ull << order);       // pages to populate
+        set(reg::kArg2, directMapVa(*pfn));   // region base
+        break;
+      }
+      case Sys::PageFault: {
+        auto pfn = ks_.buddy().allocPages(0, dom);
+        if (!pfn)
+            throw std::runtime_error("oom: page fault");
+        pendingPage_ = *pfn;
+        pendingPageValid_ = true;
+        set(reg::kArg1, 1);
+        set(reg::kArg2, directMapVa(*pfn));
+        break;
+      }
+      case Sys::Munmap: {
+        if (!t.userPages.empty()) {
+            ks_.buddy().freePages(t.userPages.back(), 0);
+            t.userPages.pop_back();
+        }
+        break;
+      }
+      case Sys::Fork:
+      case Sys::ThreadCreate: {
+        pendingChild_ = ks_.createProcess(t.cgroup);
+        Task &child = ks_.task(pendingChild_);
+        set(reg::kArg0, t.ctxVa);       // copy source
+        set(reg::kArg1, 4);             // pages
+        set(reg::kArg2, child.ctxVa);   // copy destination
+        break;
+      }
+      case Sys::BigFork: {
+        pendingChild_ = ks_.createProcess(t.cgroup);
+        Addr parent_region = bigRegion(pid);
+        auto child_region = ks_.buddy().allocPages(
+            5, ks_.task(pendingChild_).domain);
+        if (!child_region)
+            throw std::runtime_error("oom: big fork");
+        pendingChildRegion_ = *child_region;
+        pendingChildRegionValid_ = true;
+        set(reg::kArg0, parent_region);
+        set(reg::kArg1, 32);
+        set(reg::kArg2, directMapVa(*child_region));
+        break;
+      }
+      case Sys::Read:
+      case Sys::Write:
+      case Sys::Fsync:
+        set(reg::kArg1, clampLines(inv.arg1, 16, 64));
+        set(reg::kArg2, fileBuf(pid));
+        break;
+      case Sys::BigRead:
+      case Sys::BigWrite:
+        set(reg::kArg1, clampLines(inv.arg1 ? inv.arg1 : 256, 256,
+                                   256));
+        set(reg::kArg2, fileBuf(pid));
+        break;
+      case Sys::Open: {
+        // Path walk depth; the file object lives until close().
+        set(reg::kArg2, inv.arg2 ? inv.arg2 : 3);
+        Addr obj = ks_.kmalloc(512, dom);
+        extra(pid).openObjects.emplace_back(obj, 512);
+        break;
+      }
+      case Sys::Stat: {
+        // Path walk depth; the dentry reference is transient.
+        set(reg::kArg2, inv.arg2 ? inv.arg2 : 3);
+        pendingKmalloc_ = ks_.kmalloc(512, dom);
+        pendingKmallocSize_ = 512;
+        break;
+      }
+      case Sys::Close: {
+        TaskExtra &ex = extra(pid);
+        if (!ex.openObjects.empty()) {
+            auto [va, sz] = ex.openObjects.back();
+            ks_.kfree(va, sz);
+            ex.openObjects.pop_back();
+        }
+        break;
+      }
+      case Sys::Ioctl:
+        // Benign index into the driver's table (bounds value is 16).
+        set(reg::kArg0, inv.arg0 % 16);
+        break;
+      case Sys::Select:
+      case Sys::Poll:
+      case Sys::EpollWait: {
+        set(reg::kArg1, clampLines(inv.arg1, 64, 512)); // nfds
+        set(reg::kArg2, fdRegion(pid)); // per-fd file structs
+        // Transient metadata allocation (Figure 5.2's poll example).
+        pendingKmalloc_ = ks_.kmalloc(256, dom);
+        pendingKmallocSize_ = 256;
+        break;
+      }
+      case Sys::EpollCreate: {
+        Addr obj = ks_.kmalloc(512, dom);
+        extra(pid).openObjects.emplace_back(obj, 512);
+        break;
+      }
+      case Sys::Send:
+      case Sys::SendTo:
+      case Sys::Recv:
+      case Sys::RecvFrom: {
+        set(reg::kArg1, clampLines(inv.arg1, 16, 64));
+        set(reg::kArg2, sockBuf(pid));
+        // skb allocation, freed on completion.
+        pendingKmalloc_ = ks_.kmalloc(2048, dom);
+        pendingKmallocSize_ = 2048;
+        break;
+      }
+      case Sys::Socket: {
+        Addr obj = ks_.kmalloc(1024, dom);
+        extra(pid).openObjects.emplace_back(obj, 1024);
+        break;
+      }
+      case Sys::Shutdown: {
+        TaskExtra &ex = extra(pid);
+        if (!ex.openObjects.empty()) {
+            auto [va, sz] = ex.openObjects.back();
+            ks_.kfree(va, sz);
+            ex.openObjects.pop_back();
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    return p;
+}
+
+void
+SyscallExecutor::finish(Pid pid, const SyscallInvocation &inv)
+{
+    (void)pid;
+    (void)inv;
+    if (pendingKmalloc_ != 0) {
+        ks_.kfree(pendingKmalloc_, pendingKmallocSize_);
+        pendingKmalloc_ = 0;
+    }
+    if (pendingChildRegionValid_) {
+        ks_.buddy().freePages(pendingChildRegion_, 5);
+        pendingChildRegionValid_ = false;
+    }
+    if (pendingChild_ != 0) {
+        // The forked child exits immediately in our workloads.
+        ks_.exitProcess(pendingChild_);
+        pendingChild_ = 0;
+    }
+    if (pendingPageValid_) {
+        // The faulted page stays mapped only transiently in the
+        // microbenchmark loop; release it to keep memory bounded.
+        ks_.buddy().freePages(pendingPage_, 0);
+        pendingPageValid_ = false;
+    }
+}
+
+void
+SyscallExecutor::releaseTask(Pid pid)
+{
+    auto it = extra_.find(pid);
+    if (it == extra_.end())
+        return;
+    TaskExtra &ex = it->second;
+    if (ex.hasFileBuf)
+        ks_.buddy().freePages(ex.fileBufPfn, 2);
+    if (ex.hasSockBuf)
+        ks_.buddy().freePages(ex.sockBufPfn, 2);
+    if (ex.hasBigRegion)
+        ks_.buddy().freePages(ex.bigRegionPfn, 5);
+    if (ex.hasFdRegion)
+        ks_.buddy().freePages(ex.fdRegionPfn, 6);
+    for (auto [va, sz] : ex.openObjects)
+        ks_.kfree(va, sz);
+    extra_.erase(it);
+}
+
+} // namespace perspective::kernel

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The system-call surface of the miniature kernel. Each syscall has an
+ * IR entry function in the KernelImage and a semantic (C++) prepare
+ * step executed by the syscall runner.
+ */
+
+#ifndef PERSPECTIVE_KERNEL_SYSCALLS_HH
+#define PERSPECTIVE_KERNEL_SYSCALLS_HH
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace perspective::kernel
+{
+
+/** Modeled system calls (a representative slice of Linux's table). */
+enum class Sys : std::uint8_t
+{
+    // process / scheduling
+    Getpid, Getuid, Uname, GetTimeOfDay, Nanosleep, SchedYield,
+    Fork, BigFork, ThreadCreate, Exit, Wait, Futex, Kill, Sigaction,
+    Ptrace,
+    // memory
+    Mmap, Munmap, Brk, Mprotect, PageFault,
+    // filesystem
+    Open, Close, Read, Write, BigRead, BigWrite, Stat, Fstat, Lseek,
+    Dup, Ioctl, Readdir, Fsync, Pipe,
+    // multiplexing
+    Select, Poll, EpollCreate, EpollCtl, EpollWait,
+    // networking
+    Socket, Bind, Listen, Accept, Connect, Send, Recv, SendTo,
+    RecvFrom, SetSockOpt, Shutdown,
+    // misc
+    Bpf,
+
+    kCount
+};
+
+inline constexpr unsigned kNumSyscalls =
+    static_cast<unsigned>(Sys::kCount);
+
+/** Human-readable syscall name. */
+constexpr std::string_view
+sysName(Sys s)
+{
+    constexpr std::array<std::string_view, kNumSyscalls> names = {
+        "getpid", "getuid", "uname", "gettimeofday", "nanosleep",
+        "sched_yield", "fork", "big_fork", "thread_create", "exit",
+        "wait", "futex", "kill", "sigaction", "ptrace", "mmap",
+        "munmap", "brk", "mprotect", "page_fault", "open", "close",
+        "read", "write", "big_read", "big_write", "stat", "fstat",
+        "lseek", "dup", "ioctl", "readdir", "fsync", "pipe", "select",
+        "poll", "epoll_create", "epoll_ctl", "epoll_wait", "socket",
+        "bind", "listen", "accept", "connect", "send", "recv",
+        "sendto", "recvfrom", "setsockopt", "shutdown", "bpf",
+    };
+    return names[static_cast<unsigned>(s)];
+}
+
+} // namespace perspective::kernel
+
+#endif // PERSPECTIVE_KERNEL_SYSCALLS_HH

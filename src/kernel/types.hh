@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Identifier types for the miniature kernel.
+ */
+
+#ifndef PERSPECTIVE_KERNEL_TYPES_HH
+#define PERSPECTIVE_KERNEL_TYPES_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace perspective::kernel
+{
+
+using sim::Addr;
+using Pid = std::uint32_t;
+using CgroupId = std::uint32_t;
+using Pfn = std::uint64_t; ///< physical frame number
+
+/**
+ * Ownership domain of a physical page. Perspective associates one
+ * domain per cgroup (container); kernel threads get their own.
+ */
+using DomainId = std::uint16_t;
+
+/** Memory whose provenance the kernel cannot attribute (globals,
+ * boot-time per-cpu areas). Perspective conservatively blocks
+ * speculative access to it. */
+inline constexpr DomainId kDomainUnknown = 0;
+
+/** Read-mostly structures (fops tables, ...) that Perspective's OS
+ * support replicates per process (Section 6.1); they are part of
+ * every DSV. */
+inline constexpr DomainId kDomainReplicated = 1;
+
+/** First domain id handed to cgroups. */
+inline constexpr DomainId kFirstDynamicDomain = 2;
+
+/** VA of boot-time global variable @p i (unknown provenance). */
+constexpr sim::Addr
+bootGlobalVa(unsigned i)
+{
+    return sim::kDirectMapBase + sim::Addr{i} * 256;
+}
+
+/** Physical frame -> direct-map virtual address. */
+constexpr sim::Addr
+directMapVa(Pfn pfn)
+{
+    return sim::kDirectMapBase + (pfn << sim::kPageShift);
+}
+
+/** Direct-map virtual address -> physical frame. */
+constexpr Pfn
+directMapPfn(sim::Addr va)
+{
+    return (va - sim::kDirectMapBase) >> sim::kPageShift;
+}
+
+/** True if @p va lies in the direct map. */
+constexpr bool
+inDirectMap(sim::Addr va)
+{
+    return va >= sim::kDirectMapBase;
+}
+
+} // namespace perspective::kernel
+
+#endif // PERSPECTIVE_KERNEL_TYPES_HH

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Set-associative cache model with LRU replacement, plus a small
+ * hierarchy (L1I, L1D, shared L2, DRAM) matching Table 7.1 of the
+ * paper. The model is tag-only: it tracks which lines are present and
+ * charges latency; data values live in sim::Memory.
+ *
+ * Crucially, speculative (later-squashed) accesses still install lines;
+ * this is the microarchitectural state transient-execution attacks
+ * exfiltrate through.
+ */
+
+#ifndef PERSPECTIVE_SIM_CACHE_HH
+#define PERSPECTIVE_SIM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats.hh"
+#include "types.hh"
+
+namespace perspective::sim
+{
+
+/** Geometry and timing of one cache level. */
+struct CacheParams
+{
+    std::string name;
+    std::uint32_t size_bytes = 32 * 1024;
+    std::uint32_t line_bytes = 64;
+    std::uint32_t assoc = 8;
+    Cycle hit_latency = 2; ///< round-trip cycles on a hit
+};
+
+/**
+ * One level of cache. Lookup and fill are separate so callers can
+ * model "probe without disturbing" (flush+reload timing reads) as well
+ * as normal allocating accesses.
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheParams &params);
+
+    /** True if the line containing @p addr is present; updates LRU. */
+    bool access(Addr addr);
+
+    /** True if present; does not update replacement state. */
+    bool probe(Addr addr) const;
+
+    /** Install the line containing @p addr (evicting LRU). */
+    void fill(Addr addr);
+
+    /** Remove the line containing @p addr if present (clflush). */
+    void flush(Addr addr);
+
+    /** Remove every line (e.g. L1D flush mitigations). */
+    void flushAll();
+
+    const CacheParams &params() const { return params_; }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        std::uint64_t lru = 0; ///< higher == more recently used
+    };
+
+    std::uint64_t lineIndex(Addr addr) const;
+    std::uint64_t tagOf(Addr addr) const;
+
+    CacheParams params_;
+    std::uint32_t numSets_;
+    std::vector<Line> lines_; ///< numSets_ * assoc, set-major
+    std::uint64_t useClock_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+/**
+ * Two-level hierarchy with a DRAM backstop. Returns the total
+ * round-trip latency of a demand access and installs lines on the way
+ * up, as a non-inclusive hierarchy would.
+ */
+class CacheHierarchy
+{
+  public:
+    CacheHierarchy(const CacheParams &l1i, const CacheParams &l1d,
+                   const CacheParams &l2, Cycle dram_latency,
+                   bool prefetch = true);
+
+    /** Data access: charge latency, install in L1D/L2. */
+    Cycle accessData(Addr addr, StatSet *stats = nullptr);
+
+    /** Instruction fetch access through L1I/L2. */
+    Cycle accessInst(Addr addr, StatSet *stats = nullptr);
+
+    /** True if @p addr hits in L1D without touching LRU/contents. */
+    bool probeL1D(Addr addr) const { return l1d_.probe(addr); }
+
+    /** Timing-only probe used by covert-channel receivers. */
+    Cycle probeLatency(Addr addr) const;
+
+    /** clflush semantics across all levels. */
+    void flush(Addr addr);
+
+    Cache &l1i() { return l1i_; }
+    Cache &l1d() { return l1d_; }
+    Cache &l2() { return l2_; }
+    Cycle dramLatency() const { return dramLatency_; }
+
+    /** Toggle the next-line prefetchers (Table 7.1 has one per L1). */
+    void setPrefetch(bool on) { prefetch_ = on; }
+    bool prefetch() const { return prefetch_; }
+
+  private:
+    Cache l1i_;
+    Cache l1d_;
+    Cache l2_;
+    Cycle dramLatency_;
+    bool prefetch_;
+};
+
+/** The Table 7.1 configuration. */
+CacheParams defaultL1I();
+CacheParams defaultL1D();
+CacheParams defaultL2();
+
+} // namespace perspective::sim
+
+#endif // PERSPECTIVE_SIM_CACHE_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Sparse backing store for simulated memory values.
+ *
+ * The cache hierarchy models *timing* by tag; this class models the
+ * *values* that data-flow through micro-ops (secrets, indices, function
+ * pointers). Unwritten locations read as zero, like zero-filled pages.
+ */
+
+#ifndef PERSPECTIVE_SIM_MEMORY_HH
+#define PERSPECTIVE_SIM_MEMORY_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "types.hh"
+
+namespace perspective::sim
+{
+
+/** Word-granular sparse memory. Addresses are byte addresses. */
+class Memory
+{
+  public:
+    /** Read the 64-bit word at @p addr (zero if never written). */
+    std::uint64_t
+    read(Addr addr) const
+    {
+        auto it = words_.find(addr);
+        return it == words_.end() ? 0 : it->second;
+    }
+
+    /** Write the 64-bit word at @p addr. */
+    void
+    write(Addr addr, std::uint64_t value)
+    {
+        words_[addr] = value;
+    }
+
+    /** Number of distinct words ever written. */
+    std::size_t footprint() const { return words_.size(); }
+
+    void clear() { words_.clear(); }
+
+  private:
+    std::unordered_map<Addr, std::uint64_t> words_;
+};
+
+} // namespace perspective::sim
+
+#endif // PERSPECTIVE_SIM_MEMORY_HH

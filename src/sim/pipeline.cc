@@ -1,0 +1,795 @@
+#include "pipeline.hh"
+
+#include "trace.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace perspective::sim
+{
+
+namespace
+{
+
+/** Default user-mode stack base when the driver sets none. */
+constexpr Addr kDefaultStackBase = 0x0000'7fff'ff00'0000;
+
+} // namespace
+
+Pipeline::Pipeline(const Program &prog, Memory &mem,
+                   PipelineParams params)
+    : prog_(prog),
+      mem_(mem),
+      params_(params),
+      caches_(defaultL1I(), defaultL1D(), defaultL2(),
+              params.dramLatency),
+      dtlb_(512, 4, 30),
+      stackBase_(kDefaultStackBase)
+{
+    renameValid_.fill(false);
+}
+
+void
+Pipeline::setPolicy(SpeculationPolicy *policy)
+{
+    policy_ = policy;
+    if (policy_)
+        policy_->setStats(&stats_);
+}
+
+Pipeline::RobEntry *
+Pipeline::findBySeq(std::uint64_t seq)
+{
+    auto it = std::lower_bound(
+        rob_.begin(), rob_.end(), seq,
+        [](const RobEntry &e, std::uint64_t s) { return e.seq < s; });
+    if (it == rob_.end() || it->seq != seq)
+        return nullptr;
+    return &*it;
+}
+
+void
+Pipeline::captureOperand(RobEntry &e, unsigned slot, RegId reg)
+{
+    e.srcReg[slot] = reg;
+    if (reg == kNoReg) {
+        e.srcReady[slot] = true;
+        e.srcVal[slot] = 0;
+        e.srcProd[slot] = RobEntry::kNoSeq;
+        return;
+    }
+    if (renameValid_[reg]) {
+        std::uint64_t pseq = renameMap_[reg];
+        RobEntry *p = findBySeq(pseq);
+        assert(p && "rename map points at a live entry");
+        e.srcProd[slot] = pseq;
+        if (p->state == EState::Done) {
+            e.srcVal[slot] = p->result;
+            e.srcReady[slot] = true;
+        } else {
+            e.srcReady[slot] = false;
+        }
+    } else {
+        e.srcVal[slot] = regs_[reg];
+        e.srcReady[slot] = true;
+        e.srcProd[slot] = RobEntry::kNoSeq;
+    }
+}
+
+bool
+Pipeline::operandsReady(RobEntry &e)
+{
+    bool ready = true;
+    for (unsigned s = 0; s < 2; ++s) {
+        if (e.srcReady[s])
+            continue;
+        RobEntry *p = findBySeq(e.srcProd[s]);
+        if (!p) {
+            // Producer committed before we sampled its result; the
+            // architectural file now holds it (in-order commit
+            // guarantees no younger writer has committed yet).
+            e.srcVal[s] = regs_[e.srcReg[s]];
+            e.srcReady[s] = true;
+            continue;
+        }
+        if (p->state == EState::Done) {
+            e.srcVal[s] = p->result;
+            e.srcReady[s] = true;
+        } else {
+            ready = false;
+        }
+    }
+    return ready;
+}
+
+bool
+Pipeline::isSpeculative(const RobEntry &e) const
+{
+    return oldestUnresolvedCtl_ != RobEntry::kNoSeq &&
+           oldestUnresolvedCtl_ < e.seq;
+}
+
+bool
+Pipeline::addrTainted(RobEntry &e)
+{
+    if (e.srcProd[0] == RobEntry::kNoSeq)
+        return false;
+    RobEntry *p = findBySeq(e.srcProd[0]);
+    return p && p->tainted;
+}
+
+void
+Pipeline::recomputeTaint()
+{
+    // Oldest-to-youngest so producer taint is current when consumers
+    // read it. Values from committed producers are untainted.
+    for (auto &e : rob_) {
+        switch (e.op->op) {
+          case Op::Load:
+            e.tainted = isSpeculative(e);
+            break;
+          case Op::IntAlu:
+          case Op::IntMul: {
+            bool t = false;
+            for (unsigned s = 0; s < 2 && !t; ++s) {
+                if (e.srcProd[s] == RobEntry::kNoSeq)
+                    continue;
+                RobEntry *p = findBySeq(e.srcProd[s]);
+                t = p && p->tainted;
+            }
+            e.tainted = t;
+            break;
+          }
+          default:
+            e.tainted = false;
+        }
+    }
+}
+
+std::uint64_t
+Pipeline::evalAlu(const RobEntry &e) const
+{
+    std::uint64_t b = e.op->src2 != kNoReg
+                          ? e.srcVal[1]
+                          : static_cast<std::uint64_t>(e.op->imm);
+    return evalAluOp(*e.op, e.srcVal[0], b);
+}
+
+bool
+Pipeline::evalBranch(const RobEntry &e) const
+{
+    std::uint64_t b = e.op->src2 != kNoReg
+                          ? e.srcVal[1]
+                          : static_cast<std::uint64_t>(e.op->imm);
+    return evalCondOp(e.op->cond, e.srcVal[0], b);
+}
+
+Cycle
+Pipeline::execLatency(const RobEntry &e)
+{
+    switch (e.op->op) {
+      case Op::IntMul:
+        return 3;
+      case Op::Return:
+        // The return-address load: a demand access to the stack slot.
+        // An attacker who evicts this line widens the transient
+        // window of a poisoned RSB prediction.
+        if (!e.sawHalt && e.effAddr != 0)
+            return caches_.accessData(e.effAddr, &stats_);
+        return 1;
+      default:
+        return 1;
+    }
+}
+
+bool
+Pipeline::tryIssueLoad(RobEntry &e)
+{
+    if (!e.addrValid) {
+        Addr base = e.op->src1 != kNoReg ? e.srcVal[0] : 0;
+        e.effAddr = base + static_cast<std::uint64_t>(e.op->imm);
+        e.addrValid = true;
+    }
+
+    // Memory disambiguation (conservative) and fence ordering: scan
+    // older in-flight stores and fences.
+    bool forwarded = false;
+    std::uint64_t fwd_val = 0;
+    for (auto &older : rob_) {
+        if (older.seq >= e.seq)
+            break;
+        if (older.op->op == Op::Fence &&
+            older.state != EState::Done) {
+            return false;
+        }
+        if (older.op->op != Op::Store)
+            continue;
+        if (older.state == EState::Waiting ||
+            older.state == EState::Blocked || !older.addrValid) {
+            return false; // unresolved older store address
+        }
+        if (older.effAddr == e.effAddr) {
+            forwarded = true;
+            fwd_val = older.result;
+        }
+    }
+
+    bool spec = isSpeculative(e);
+    if (spec) {
+        SpecContext ctx;
+        ctx.pc = e.pc;
+        ctx.dataVa = e.effAddr;
+        ctx.func = e.func;
+        ctx.speculative = true;
+        ctx.tainted = addrTainted(e);
+        ctx.kernelMode = e.kernel;
+        ctx.asid = asid_;
+        ctx.l1dHit = caches_.probeL1D(e.effAddr);
+        ctx.now = now_;
+        ctx.firstCheck = !e.counted;
+        SpeculationPolicy *pol = policy_ ? policy_ : &unsafe_;
+        Gate g = pol->gateLoad(ctx);
+        if (g == Gate::Block) {
+            if (!e.counted) {
+                e.counted = true;
+                stats_.inc("fences");
+                if (e.kernel)
+                    stats_.inc("fences.kernel");
+                if (trace::enabled(trace::Flag::Fence)) {
+                    trace::log(trace::Flag::Fence, now_,
+                               pol->name() +
+                                   std::string(" blocks ") +
+                                   prog_.func(e.func).name + "[" +
+                                   std::to_string(e.idx) + "]");
+                }
+            }
+            e.state = EState::Blocked;
+            stats_.inc("blocked_cycles");
+            return false;
+        }
+        if (g == Gate::AllowInvisible)
+            e.invisible = true;
+    }
+
+    Cycle lat;
+    if (forwarded) {
+        lat = 1;
+        e.result = fwd_val;
+    } else if (e.invisible) {
+        // Invisible speculation (InvisiSpec-style): read the data at
+        // the latency the hierarchy would charge, but leave no trace;
+        // the line is installed at commit if the load survives.
+        Cycle tlb_lat = dtlb_.translate(e.effAddr, asid_);
+        lat = caches_.probeLatency(e.effAddr) +
+              (tlb_lat > 1 ? tlb_lat : 0);
+        e.result = mem_.read(e.effAddr);
+        stats_.inc("loads.invisible");
+    } else {
+        Cycle tlb_lat = dtlb_.translate(e.effAddr, asid_);
+        lat = caches_.accessData(e.effAddr, &stats_) +
+              (tlb_lat > 1 ? tlb_lat : 0);
+        e.result = mem_.read(e.effAddr);
+    }
+    e.state = EState::Executing;
+    e.doneCycle = now_ + lat;
+    stats_.inc("loads");
+    if (spec)
+        stats_.inc("loads.speculative");
+    return true;
+}
+
+void
+Pipeline::rebuildRenameMap()
+{
+    renameValid_.fill(false);
+    for (auto &e : rob_) {
+        if (e.op->dst != kNoReg) {
+            renameMap_[e.op->dst] = e.seq;
+            renameValid_[e.op->dst] = true;
+        }
+    }
+}
+
+void
+Pipeline::squashAfter(std::uint64_t seq)
+{
+    while (!rob_.empty() && rob_.back().seq > seq) {
+        RobEntry &victim = rob_.back();
+        if (victim.op->op == Op::Load)
+            --inflightLoads_;
+        else if (victim.op->op == Op::Store)
+            --inflightStores_;
+        stats_.inc("squashed_uops");
+        rob_.pop_back();
+    }
+    if (fetchBlockedOnSeq_ != RobEntry::kNoSeq &&
+        fetchBlockedOnSeq_ > seq) {
+        fetchBlockedOnSeq_ = RobEntry::kNoSeq;
+    }
+    rebuildRenameMap();
+    lastFetchLine_ = ~Addr{0};
+}
+
+bool
+Pipeline::resolveControl(RobEntry &e)
+{
+    bool mispredict = false;
+    switch (e.op->op) {
+      case Op::Branch: {
+        bool taken = evalBranch(e);
+        cond_.update(e.pc, taken, e.histCkpt);
+        mispredict = taken != e.predictedTaken;
+        if (mispredict) {
+            squashAfter(e.seq);
+            cond_.restoreHistory(e.histCkpt);
+            cond_.speculate(taken);
+            rsb_.restore(e.rsbCkpt);
+            fetch_.func = e.func;
+            fetch_.idx = taken ? e.op->target : e.idx + 1;
+            fetch_.stack = e.stackCkpt;
+            fetch_.halted = false;
+        }
+        break;
+      }
+      case Op::IndirectCall: {
+        FuncId actual = static_cast<FuncId>(e.srcVal[0]);
+        btb_.update(e.pc, actual);
+        mispredict = e.predTargetFunc != actual;
+        if (mispredict) {
+            squashAfter(e.seq);
+            cond_.restoreHistory(e.histCkpt);
+            rsb_.restore(e.rsbCkpt);
+            fetch_.stack = e.stackCkpt;
+            Frame fr;
+            fr.func = e.func;
+            fr.retIdx = e.idx + 1;
+            fr.slotVa =
+                stackBase_ - 8 * (fetch_.stack.size() + 1);
+            fetch_.stack.push_back(fr);
+            rsb_.push({e.func, e.idx + 1});
+            fetch_.func = actual;
+            fetch_.idx = 0;
+            fetch_.halted = false;
+        }
+        if (fetchBlockedOnSeq_ == e.seq)
+            fetchBlockedOnSeq_ = RobEntry::kNoSeq;
+        break;
+      }
+      case Op::Return: {
+        if (e.sawHalt)
+            break;
+        const Frame &truth = e.stackCkpt.back();
+        mispredict = e.predTargetFunc != truth.func ||
+                     e.predTargetIdx != truth.retIdx;
+        if (mispredict) {
+            squashAfter(e.seq);
+            cond_.restoreHistory(e.histCkpt);
+            rsb_.restore(e.rsbCkpt);
+            rsb_.pop();
+            fetch_.stack = e.stackCkpt;
+            fetch_.stack.pop_back();
+            fetch_.func = truth.func;
+            fetch_.idx = truth.retIdx;
+            fetch_.halted = false;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    e.resolved = true;
+    if (mispredict) {
+        if (trace::enabled(trace::Flag::Squash)) {
+            trace::log(trace::Flag::Squash, now_,
+                       "mispredict at " + prog_.func(e.func).name +
+                           "[" + std::to_string(e.idx) +
+                           "], redirect to " +
+                           prog_.func(fetch_.func).name + "[" +
+                           std::to_string(fetch_.idx) + "]");
+        }
+        fetchStallUntil_ = now_ + params_.mispredictPenalty;
+        stats_.inc("mispredicts");
+        switch (e.op->op) {
+          case Op::Branch: stats_.inc("mispredicts.branch"); break;
+          case Op::IndirectCall: stats_.inc("mispredicts.icall"); break;
+          case Op::Return: stats_.inc("mispredicts.ret"); break;
+          default: break;
+        }
+        stats_.inc("squashes");
+    }
+    return mispredict;
+}
+
+void
+Pipeline::doCommit()
+{
+    unsigned n = 0;
+    while (!rob_.empty() && n < params_.width) {
+        RobEntry &e = rob_.front();
+        if (e.state != EState::Done)
+            break;
+        if (e.isControl && !e.resolved)
+            break;
+        applyCommit(e);
+        bool halt = e.sawHalt;
+        rob_.pop_front();
+        ++n;
+        if (halt) {
+            halted_ = true;
+            break;
+        }
+    }
+}
+
+void
+Pipeline::applyCommit(RobEntry &e)
+{
+    if (e.op->dst != kNoReg) {
+        regs_[e.op->dst] = e.result;
+        if (renameValid_[e.op->dst] && renameMap_[e.op->dst] == e.seq)
+            renameValid_[e.op->dst] = false;
+    }
+    if (e.op->op == Op::Store) {
+        mem_.write(e.effAddr, e.srcVal[1]);
+        caches_.accessData(e.effAddr, &stats_);
+        --inflightStores_;
+    } else if (e.op->op == Op::Load) {
+        // An invisibly-executed load becomes architecturally visible
+        // at commit: install its line now (the InvisiSpec "expose").
+        if (e.invisible)
+            caches_.accessData(e.effAddr, &stats_);
+        --inflightLoads_;
+    }
+    stats_.inc("committed");
+    if (e.kernel)
+        stats_.inc("committed.kernel");
+    if (trace::enabled(trace::Flag::Commit)) {
+        trace::log(trace::Flag::Commit, now_,
+                   prog_.func(e.func).name + "[" +
+                       std::to_string(e.idx) + "] " +
+                       e.op->toString());
+    }
+}
+
+void
+Pipeline::doExecute()
+{
+    // Recompute the speculation horizon before completions.
+    oldestUnresolvedCtl_ = RobEntry::kNoSeq;
+    for (auto &e : rob_) {
+        if (e.isControl && !e.resolved) {
+            oldestUnresolvedCtl_ = e.seq;
+            break;
+        }
+    }
+
+    // 1) Completions and control resolution. Resolution may squash,
+    // invalidating iterators, so restart the scan after a squash.
+    bool rescan = true;
+    while (rescan) {
+        rescan = false;
+        for (auto &e : rob_) {
+            if (e.state == EState::Executing && now_ >= e.doneCycle) {
+                e.state = EState::Done;
+                if (e.isControl && !e.resolved) {
+                    if (resolveControl(e)) {
+                        rescan = true;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    // Horizon may have moved after resolutions.
+    oldestUnresolvedCtl_ = RobEntry::kNoSeq;
+    for (auto &e : rob_) {
+        if (e.isControl && !e.resolved) {
+            oldestUnresolvedCtl_ = e.seq;
+            break;
+        }
+    }
+
+    recomputeTaint();
+
+    // 2) Issue.
+    unsigned issues = 0;
+    for (auto &e : rob_) {
+        if (issues >= params_.width)
+            break;
+        if (e.state != EState::Waiting && e.state != EState::Blocked)
+            continue;
+        if (!operandsReady(e))
+            continue;
+
+        if (e.op->op == Op::Load) {
+            if (tryIssueLoad(e))
+                ++issues;
+            continue;
+        }
+        if (e.op->op == Op::Fence) {
+            // Serializing: completes only at the head of the ROB.
+            if (e.seq != rob_.front().seq)
+                continue;
+        }
+        if (e.op->op == Op::Store) {
+            Addr base = e.op->src1 != kNoReg ? e.srcVal[0] : 0;
+            e.effAddr = base + static_cast<std::uint64_t>(e.op->imm);
+            e.addrValid = true;
+            e.result = e.srcVal[1];
+        } else if (e.op->op == Op::IntAlu ||
+                   e.op->op == Op::IntMul) {
+            e.result = evalAlu(e);
+        } else if (e.op->op == Op::IndirectCall) {
+            e.result = e.srcVal[0];
+        } else if (e.op->op == Op::Call) {
+            // Return-address push: allocate the stack line.
+            if (e.effAddr != 0)
+                caches_.accessData(e.effAddr, &stats_);
+        }
+        e.state = EState::Executing;
+        e.doneCycle = now_ + execLatency(e);
+        // Control flow resolves no earlier than the pipeline depth
+        // past dispatch (fetch/decode/rename/issue stages).
+        if (e.isControl) {
+            e.doneCycle = std::max(
+                e.doneCycle,
+                e.dispatchCycle + params_.branchResolveDepth);
+        }
+        ++issues;
+    }
+}
+
+void
+Pipeline::doFetch()
+{
+    if (halted_ || fetch_.halted)
+        return;
+    if (now_ < fetchStallUntil_)
+        return;
+    if (fetchBlockedOnSeq_ != RobEntry::kNoSeq)
+        return;
+
+    SpeculationPolicy *pol = policy_ ? policy_ : &unsafe_;
+    unsigned n = 0;
+    while (n < params_.width && rob_.size() < params_.robSize) {
+        const Function &f = prog_.func(fetch_.func);
+        assert(fetch_.idx < f.body.size() &&
+               "fetch ran off a function body; bodies must end in ret");
+        const MicroOp &op = f.body[fetch_.idx];
+
+        if (op.op == Op::Load && inflightLoads_ >= params_.lqSize)
+            break;
+        if (op.op == Op::Store && inflightStores_ >= params_.sqSize)
+            break;
+
+        Addr pc = f.instAddr(fetch_.idx);
+        Addr line = pc / 64;
+        if (line != lastFetchLine_) {
+            lastFetchLine_ = line;
+            Cycle lat = caches_.accessInst(pc, &stats_);
+            if (lat > caches_.l1i().params().hit_latency) {
+                fetchStallUntil_ = now_ + lat;
+                break;
+            }
+        }
+
+        RobEntry e;
+        e.seq = nextSeq_++;
+        e.func = fetch_.func;
+        e.idx = fetch_.idx;
+        e.pc = pc;
+        e.op = &op;
+        e.kernel = f.kernel;
+        e.isControl = op.isControl();
+        e.dispatchCycle = now_;
+
+        switch (op.op) {
+          case Op::IntAlu:
+          case Op::IntMul:
+          case Op::Branch:
+            captureOperand(e, 0, op.src1);
+            captureOperand(e, 1, op.src2);
+            break;
+          case Op::Load:
+            captureOperand(e, 0, op.src1);
+            captureOperand(e, 1, kNoReg);
+            break;
+          case Op::Store:
+            captureOperand(e, 0, op.src1);
+            captureOperand(e, 1, op.src2);
+            break;
+          case Op::IndirectCall:
+            captureOperand(e, 0, op.src1);
+            captureOperand(e, 1, kNoReg);
+            break;
+          default:
+            captureOperand(e, 0, kNoReg);
+            captureOperand(e, 1, kNoReg);
+            break;
+        }
+
+        bool stop_fetch = false;
+        switch (op.op) {
+          case Op::Jump:
+            fetch_.idx = op.target;
+            break;
+          case Op::Branch: {
+            e.histCkpt = cond_.history();
+            e.rsbCkpt = rsb_.save();
+            bool taken = cond_.predict(pc);
+            cond_.speculate(taken);
+            e.predictedTaken = taken;
+            e.stackCkpt = fetch_.stack;
+            fetch_.idx = taken ? op.target : fetch_.idx + 1;
+            break;
+          }
+          case Op::Call: {
+            Frame fr;
+            fr.func = fetch_.func;
+            fr.retIdx = fetch_.idx + 1;
+            fr.slotVa = stackBase_ - 8 * (fetch_.stack.size() + 1);
+            e.effAddr = fr.slotVa;
+            fetch_.stack.push_back(fr);
+            rsb_.push({fr.func, fr.retIdx});
+            const Function &callee = prog_.func(op.callee);
+            if (callee.kernel && !f.kernel) {
+                Cycle c = params_.kernelEntryCost +
+                          pol->kernelEntryCost();
+                if (c > 0)
+                    fetchStallUntil_ = now_ + c;
+                stats_.inc("kernel_entries");
+            }
+            fetch_.func = op.callee;
+            fetch_.idx = 0;
+            stop_fetch = fetchStallUntil_ > now_;
+            break;
+          }
+          case Op::IndirectCall: {
+            e.histCkpt = cond_.history();
+            e.stackCkpt = fetch_.stack;
+            e.rsbCkpt = rsb_.save();
+            FuncId pred =
+                pol->retpoline() ? kNoFunc : btb_.predict(pc);
+            if (pred != kNoFunc &&
+                !pol->cfiAllowsIndirectTarget(pred)) {
+                // CFI label check rejects the predicted target:
+                // speculation stalls until the call resolves.
+                pred = kNoFunc;
+            }
+            if (pred == kNoFunc) {
+                e.predTargetFunc = kNoFunc;
+                fetchBlockedOnSeq_ = e.seq;
+                stop_fetch = true;
+            } else {
+                e.predTargetFunc = pred;
+                Frame fr;
+                fr.func = fetch_.func;
+                fr.retIdx = fetch_.idx + 1;
+                fr.slotVa =
+                    stackBase_ - 8 * (fetch_.stack.size() + 1);
+                e.effAddr = fr.slotVa;
+                fetch_.stack.push_back(fr);
+                rsb_.push({fr.func, fr.retIdx});
+                fetch_.func = pred;
+                fetch_.idx = 0;
+            }
+            break;
+          }
+          case Op::Return: {
+            e.histCkpt = cond_.history();
+            e.stackCkpt = fetch_.stack;
+            e.rsbCkpt = rsb_.save();
+            if (fetch_.stack.empty()) {
+                e.sawHalt = true;
+                fetch_.halted = true;
+                stop_fetch = true;
+                break;
+            }
+            const Frame &truth = fetch_.stack.back();
+            e.effAddr = truth.slotVa;
+            bool underflow = rsb_.depth() == 0;
+            Rsb::Target pred = rsb_.pop();
+            fetch_.stack.pop_back();
+            if (underflow) {
+                // RSB underflow: real cores fall back to the indirect
+                // predictor, which is what Retbleed poisons. Note
+                // that retpoline does NOT protect returns — exactly
+                // the gap Retbleed (Table 4.1, row 7) exploits. A
+                // hardware shadow stack closes it.
+                FuncId alt =
+                    pol->shadowStack() ? kNoFunc : btb_.predict(pc);
+                if (alt != kNoFunc) {
+                    pred.func = alt;
+                    pred.idx = 0;
+                    stats_.inc("rsb_underflow_btb");
+                } else {
+                    pred.func = truth.func;
+                    pred.idx = truth.retIdx;
+                }
+            } else if (pred.func == kNoFunc) {
+                // Cold RSB slot: fall back to the in-order stack.
+                pred.func = truth.func;
+                pred.idx = truth.retIdx;
+            }
+            e.predTargetFunc = pred.func;
+            e.predTargetIdx = pred.idx;
+            if (f.kernel && !prog_.func(pred.func).kernel) {
+                Cycle c = params_.kernelExitCost +
+                          pol->kernelExitCost();
+                if (c > 0)
+                    fetchStallUntil_ = now_ + c;
+            }
+            fetch_.func = pred.func;
+            fetch_.idx = pred.idx;
+            stop_fetch = fetchStallUntil_ > now_;
+            break;
+          }
+          default:
+            fetch_.idx += 1;
+            break;
+        }
+
+        if (op.op == Op::Load)
+            ++inflightLoads_;
+        else if (op.op == Op::Store)
+            ++inflightStores_;
+
+        if (op.dst != kNoReg) {
+            renameMap_[op.dst] = e.seq;
+            renameValid_[op.dst] = true;
+        }
+
+        if (trace::enabled(trace::Flag::Fetch)) {
+            trace::log(trace::Flag::Fetch, now_,
+                       prog_.func(e.func).name + "[" +
+                           std::to_string(e.idx) + "] " +
+                           op.toString());
+        }
+        rob_.push_back(std::move(e));
+        ++n;
+        stats_.inc("fetched");
+        if (stop_fetch)
+            break;
+    }
+}
+
+RunResult
+Pipeline::run(FuncId entry)
+{
+    fetch_ = FetchState{};
+    fetch_.func = entry;
+    fetch_.idx = 0;
+    halted_ = false;
+    rob_.clear();
+    renameValid_.fill(false);
+    inflightLoads_ = 0;
+    inflightStores_ = 0;
+    fetchBlockedOnSeq_ = RobEntry::kNoSeq;
+    fetchStallUntil_ = 0;
+    lastFetchLine_ = ~Addr{0};
+
+    Cycle start = now_;
+    std::uint64_t start_inst = stats_.get("committed");
+
+    while (!halted_) {
+        ++now_;
+        doCommit();
+        if (halted_)
+            break;
+        doExecute();
+        doFetch();
+        if (now_ - start > params_.maxCycles) {
+            throw std::runtime_error(
+                "Pipeline::run exceeded maxCycles; likely deadlock");
+        }
+    }
+
+    RunResult r;
+    r.cycles = now_ - start;
+    r.instructions = stats_.get("committed") - start_inst;
+    return r;
+}
+
+} // namespace perspective::sim

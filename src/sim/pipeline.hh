@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Out-of-order, speculative, cycle-approximate pipeline.
+ *
+ * The model implements the mechanisms transient-execution attacks and
+ * their defenses actually interact with:
+ *
+ *  - in-order fetch along a *predicted* path (conditional predictor,
+ *    BTB for indirect calls, RSB for returns), so wrong-path micro-ops
+ *    really enter the window, really execute, and really disturb the
+ *    cache before being squashed;
+ *  - a reorder buffer with in-order commit and full squash/restore on
+ *    misprediction (rename map, speculative call stack, predictor
+ *    history and RSB checkpoints);
+ *  - a Visibility Point rule (Section 6.2): an instruction is
+ *    speculative while any older unresolved control-flow instruction
+ *    could squash it; defenses may block transmitters until then;
+ *  - STT-style taint: values produced by speculative loads are tainted
+ *    and taint propagates through data flow until the producer load
+ *    reaches its Visibility Point.
+ *
+ * Defense schemes plug in through sim::SpeculationPolicy.
+ */
+
+#ifndef PERSPECTIVE_SIM_PIPELINE_HH
+#define PERSPECTIVE_SIM_PIPELINE_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "cache.hh"
+#include "memory.hh"
+#include "policy.hh"
+#include "predictor.hh"
+#include "program.hh"
+#include "stats.hh"
+#include "tlb.hh"
+#include "types.hh"
+
+namespace perspective::sim
+{
+
+/** Core configuration (defaults follow Table 7.1). */
+struct PipelineParams
+{
+    unsigned width = 8;           ///< fetch/commit width
+    unsigned robSize = 192;
+    unsigned lqSize = 62;
+    unsigned sqSize = 32;
+    Cycle mispredictPenalty = 10; ///< front-end redirect cycles
+    /** Minimum cycles between dispatch of a control-flow op and its
+     * resolution, modeling the fetch-to-execute pipeline depth. This
+     * is the length of the speculative window defenses fight over:
+     * FENCE-style schemes stall loads for at least this long behind
+     * every unresolved branch. */
+    Cycle branchResolveDepth = 6;
+    /** Baseline privilege-transition microcode cost (syscall/sysret,
+     * swapgs), charged on every kernel entry/exit regardless of the
+     * defense scheme. KPTI-style mitigations add on top. */
+    Cycle kernelEntryCost = 40;
+    Cycle kernelExitCost = 24;
+    Cycle dramLatency = 100;      ///< 50 ns at 2 GHz
+    Cycle maxCycles = 200'000'000;///< runaway guard
+};
+
+/** Outcome of one Pipeline::run invocation. */
+struct RunResult
+{
+    Cycle cycles = 0;
+    std::uint64_t instructions = 0; ///< committed micro-ops
+};
+
+/**
+ * The simulated core. One Pipeline owns its cache hierarchy,
+ * predictors, TLBs and architectural state; the Program and the
+ * backing Memory are shared with the kernel model and attack drivers.
+ */
+class Pipeline
+{
+  public:
+    Pipeline(const Program &prog, Memory &mem,
+             PipelineParams params = {});
+
+    /** Install the active defense scheme (nullptr -> unsafe). */
+    void setPolicy(SpeculationPolicy *policy);
+    SpeculationPolicy *policy() const { return policy_; }
+
+    /** Current address-space identifier (tags ISV cache et al.). */
+    void setAsid(Asid asid) { asid_ = asid; }
+    Asid asid() const { return asid_; }
+
+    /** Kernel stack base used for call/return slot traffic. */
+    void setKernelStackBase(Addr base) { stackBase_ = base; }
+    Addr kernelStackBase() const { return stackBase_; }
+
+    /** Architectural register access (drivers pass syscall args). */
+    std::uint64_t regValue(unsigned r) const { return regs_[r]; }
+    void setReg(unsigned r, std::uint64_t v) { regs_[r] = v; }
+
+    /**
+     * Execute @p entry to completion (its final return) and report the
+     * cycles and committed micro-ops consumed. Microarchitectural
+     * state (caches, predictors) persists across calls, which is what
+     * lets an attacker mistrain structures in one call and exploit
+     * them in the next.
+     */
+    RunResult run(FuncId entry);
+
+    Memory &memory() { return mem_; }
+    CacheHierarchy &caches() { return caches_; }
+    CondPredictor &condPredictor() { return cond_; }
+    Btb &btb() { return btb_; }
+    Rsb &rsb() { return rsb_; }
+    Tlb &dtlb() { return dtlb_; }
+    StatSet &stats() { return stats_; }
+    const Program &program() const { return prog_; }
+    const PipelineParams &params() const { return params_; }
+
+  private:
+    /** A frame of the speculative call stack. */
+    struct Frame
+    {
+        FuncId func = kNoFunc;
+        std::uint32_t retIdx = 0;
+        Addr slotVa = 0; ///< stack slot holding the return address
+    };
+
+    /** Front-end state: where fetch is and the path's call stack. */
+    struct FetchState
+    {
+        FuncId func = kNoFunc;
+        std::uint32_t idx = 0;
+        std::vector<Frame> stack;
+        bool halted = false; ///< fetched past the outermost return
+    };
+
+    enum class EState : std::uint8_t
+    {
+        Waiting,   ///< operands not ready
+        Blocked,   ///< transmitter gated by the policy
+        Executing, ///< in an FU, completes at doneCycle
+        Done,      ///< result available
+    };
+
+    struct RobEntry
+    {
+        std::uint64_t seq = 0;
+        FuncId func = kNoFunc;
+        std::uint32_t idx = 0;
+        Addr pc = 0;
+        const MicroOp *op = nullptr;
+        bool kernel = false;
+
+        EState state = EState::Waiting;
+        Cycle doneCycle = 0;
+        Cycle dispatchCycle = 0;
+        std::uint64_t result = 0;
+
+        // Operand capture: producer seq (kNoSeq when the value came
+        // from the architectural file at dispatch).
+        static constexpr std::uint64_t kNoSeq = ~0ull;
+        std::array<std::uint64_t, 2> srcProd = {kNoSeq, kNoSeq};
+        std::array<std::uint64_t, 2> srcVal = {0, 0};
+        std::array<bool, 2> srcReady = {true, true};
+        std::array<RegId, 2> srcReg = {kNoReg, kNoReg};
+
+        bool tainted = false;   ///< result taint (STT)
+        bool counted = false;   ///< fence already counted for stats
+        bool invisible = false; ///< executed without cache fills
+
+        // Memory ops.
+        Addr effAddr = 0;
+        bool addrValid = false;
+
+        // Control ops.
+        bool isControl = false;
+        bool resolved = false;
+        bool predictedTaken = false;
+        FuncId predTargetFunc = kNoFunc;
+        std::uint32_t predTargetIdx = 0;
+        std::uint64_t histCkpt = 0;
+        Rsb::Checkpoint rsbCkpt{0, 0};
+        std::vector<Frame> stackCkpt; ///< stack before this op's effect
+        bool sawHalt = false; ///< return with an empty correct stack
+    };
+
+    // -- per-cycle stages ------------------------------------------------
+    void doCommit();
+    void doExecute();
+    void doFetch();
+
+    // -- helpers ---------------------------------------------------------
+    RobEntry *findBySeq(std::uint64_t seq);
+    bool operandsReady(RobEntry &e);
+    bool isSpeculative(const RobEntry &e) const;
+    bool addrTainted(RobEntry &e);
+    void recomputeTaint();
+    bool resolveControl(RobEntry &e);
+    void squashAfter(std::uint64_t seq);
+    void rebuildRenameMap();
+    void captureOperand(RobEntry &e, unsigned slot, RegId reg);
+    Cycle execLatency(const RobEntry &e);
+    bool tryIssueLoad(RobEntry &e);
+    void applyCommit(RobEntry &e);
+    std::uint64_t evalAlu(const RobEntry &e) const;
+    bool evalBranch(const RobEntry &e) const;
+
+    const Program &prog_;
+    Memory &mem_;
+    PipelineParams params_;
+
+    CacheHierarchy caches_;
+    Tlb dtlb_;
+    CondPredictor cond_;
+    Btb btb_;
+    Rsb rsb_;
+    StatSet stats_;
+
+    SpeculationPolicy *policy_ = nullptr;
+    UnsafePolicy unsafe_;
+
+    Asid asid_ = 0;
+    Addr stackBase_ = 0;
+
+    std::array<std::uint64_t, kNumRegs> regs_{};
+
+    // ROB as a deque; seq of front entry tracked separately.
+    std::deque<RobEntry> rob_;
+    std::uint64_t nextSeq_ = 0;
+    std::array<std::uint64_t, kNumRegs> renameMap_{};
+    std::array<bool, kNumRegs> renameValid_{};
+
+    FetchState fetch_;
+    Cycle now_ = 0;
+    Cycle fetchStallUntil_ = 0;
+    std::uint64_t fetchBlockedOnSeq_ = RobEntry::kNoSeq;
+    Addr lastFetchLine_ = ~Addr{0};
+    unsigned inflightLoads_ = 0;
+    unsigned inflightStores_ = 0;
+    bool halted_ = false;
+
+    // Monotonically updated: smallest seq of an unresolved control op,
+    // recomputed each cycle.
+    std::uint64_t oldestUnresolvedCtl_ = RobEntry::kNoSeq;
+};
+
+} // namespace perspective::sim
+
+#endif // PERSPECTIVE_SIM_PIPELINE_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The pliable software/hardware interface: the pipeline consults a
+ * SpeculationPolicy before letting a transmitter instruction execute
+ * speculatively. Defense schemes (FENCE, DOM, STT, Perspective, ...)
+ * implement this interface; the pipeline itself stays scheme-agnostic.
+ */
+
+#ifndef PERSPECTIVE_SIM_POLICY_HH
+#define PERSPECTIVE_SIM_POLICY_HH
+
+#include <cstdint>
+
+#include "stats.hh"
+#include "types.hh"
+
+namespace perspective::sim
+{
+
+/** Everything a policy may inspect about a pending transmitter. */
+struct SpecContext
+{
+    Addr pc = 0;          ///< VA of the transmitter instruction
+    Addr dataVa = 0;      ///< effective address of the access
+    FuncId func = kNoFunc;///< containing function
+    bool speculative = false; ///< older squashable instruction exists
+    bool tainted = false; ///< address depends on speculative data (STT)
+    bool kernelMode = false;  ///< executing kernel code
+    Asid asid = 0;        ///< current address-space id
+    bool l1dHit = false;  ///< would this access hit in the L1D?
+    Cycle now = 0;        ///< current cycle (for fill-latency models)
+    /** True on the first gate evaluation of this dynamic instruction;
+     * blocked loads are re-evaluated every cycle, and policies must
+     * only bump attribution statistics once. */
+    bool firstCheck = true;
+};
+
+/** Verdicts a policy can return for a speculative transmitter. */
+enum class Gate : std::uint8_t
+{
+    Allow,          ///< execute now
+    Block,          ///< re-evaluate next cycle (released at the VP)
+    AllowInvisible, ///< execute without modifying the cache; the
+                    ///< line installs at commit (InvisiSpec-style)
+};
+
+/**
+ * Abstract defense scheme. gateLoad is re-invoked every cycle while an
+ * instruction is blocked and still speculative; once the instruction
+ * reaches its Visibility Point the pipeline stops asking and issues it.
+ */
+class SpeculationPolicy
+{
+  public:
+    virtual ~SpeculationPolicy() = default;
+
+    /** Decide whether the speculative transmitter may execute. */
+    virtual Gate gateLoad(const SpecContext &ctx) = 0;
+
+    /** Scheme name used in reports. */
+    virtual const char *name() const = 0;
+
+    /** Extra front-end cycles charged when entering the kernel. */
+    virtual Cycle kernelEntryCost() const { return 0; }
+
+    /** Extra cycles charged when returning to userspace. */
+    virtual Cycle kernelExitCost() const { return 0; }
+
+    /**
+     * When true, indirect calls are executed as retpolines: the BTB is
+     * never consulted and fetch stalls until the target resolves.
+     */
+    virtual bool retpoline() const { return false; }
+
+    /**
+     * Speculative control-flow integrity check (SpecCFI/CET-style):
+     * may the front end speculate into @p target from an indirect
+     * call? Coarse-grained CFI labels every kernel function entry as
+     * legal — which is exactly why CFI alone leaves a large passive
+     * attack surface (Chapter 10).
+     */
+    virtual bool
+    cfiAllowsIndirectTarget(FuncId target) const
+    {
+        (void)target;
+        return true;
+    }
+
+    /**
+     * When true, a hardware shadow stack provides return predictions
+     * on RSB underflow instead of the (poisonable) BTB fallback.
+     */
+    virtual bool shadowStack() const { return false; }
+
+    /** Stats sink for fence-attribution counters. */
+    void setStats(StatSet *stats) { stats_ = stats; }
+
+  protected:
+    StatSet *stats_ = nullptr;
+};
+
+/** Baseline: never blocks anything. */
+class UnsafePolicy : public SpeculationPolicy
+{
+  public:
+    Gate gateLoad(const SpecContext &) override { return Gate::Allow; }
+    const char *name() const override { return "unsafe"; }
+};
+
+} // namespace perspective::sim
+
+#endif // PERSPECTIVE_SIM_POLICY_HH

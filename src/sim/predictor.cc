@@ -1,0 +1,176 @@
+#include "predictor.hh"
+
+namespace perspective::sim
+{
+
+CondPredictor::CondPredictor()
+{
+    bimodal_.assign(1u << kBimodalBits, 2); // weakly taken
+    for (auto &t : tagged_)
+        t.assign(1u << kTaggedBits, TaggedEntry{});
+}
+
+std::uint64_t
+CondPredictor::foldedHistory(std::uint64_t hist, unsigned bits,
+                             unsigned len)
+{
+    std::uint64_t h = hist & ((len >= 64) ? ~0ull
+                                          : ((1ull << len) - 1));
+    std::uint64_t folded = 0;
+    while (h) {
+        folded ^= h & ((1ull << bits) - 1);
+        h >>= bits;
+    }
+    return folded;
+}
+
+std::uint32_t
+CondPredictor::taggedIndex(Addr pc, unsigned t,
+                           std::uint64_t hist) const
+{
+    std::uint64_t f = foldedHistory(hist, kTaggedBits, kHistLen[t]);
+    return static_cast<std::uint32_t>((pc >> 2) ^ (pc >> 7) ^ f) &
+           ((1u << kTaggedBits) - 1);
+}
+
+std::uint16_t
+CondPredictor::taggedTag(Addr pc, unsigned t,
+                         std::uint64_t hist) const
+{
+    std::uint64_t f = foldedHistory(hist, 11, kHistLen[t]);
+    return static_cast<std::uint16_t>(((pc >> 2) ^ (f << 1)) & 0x7ff);
+}
+
+bool
+CondPredictor::predict(Addr pc) const
+{
+    for (int t = kNumTagged - 1; t >= 0; --t) {
+        const TaggedEntry &e =
+            tagged_[t][taggedIndex(pc, t, history_)];
+        if (e.valid && e.tag == taggedTag(pc, t, history_))
+            return e.ctr >= 0;
+    }
+    std::uint32_t idx = static_cast<std::uint32_t>(pc >> 2) &
+                        ((1u << kBimodalBits) - 1);
+    return bimodal_[idx] >= 2;
+}
+
+void
+CondPredictor::update(Addr pc, bool taken, std::uint64_t hist)
+{
+    bool provider_found = false;
+    int provider = -1;
+    for (int t = kNumTagged - 1; t >= 0; --t) {
+        TaggedEntry &e = tagged_[t][taggedIndex(pc, t, hist)];
+        if (e.valid && e.tag == taggedTag(pc, t, hist)) {
+            provider = t;
+            provider_found = true;
+            bool was_correct = (e.ctr >= 0) == taken;
+            if (taken && e.ctr < 3)
+                ++e.ctr;
+            else if (!taken && e.ctr > -4)
+                --e.ctr;
+            if (was_correct && e.useful < 3)
+                ++e.useful;
+            break;
+        }
+    }
+
+    std::uint32_t bidx = static_cast<std::uint32_t>(pc >> 2) &
+                         ((1u << kBimodalBits) - 1);
+    bool base_pred = bimodal_[bidx] >= 2;
+    if (taken && bimodal_[bidx] < 3)
+        ++bimodal_[bidx];
+    else if (!taken && bimodal_[bidx] > 0)
+        --bimodal_[bidx];
+
+    // Allocate a longer-history entry when the overall prediction was
+    // wrong, as TAGE does.
+    bool pred =
+        provider_found
+            ? (tagged_[provider][taggedIndex(pc, provider, hist)]
+                   .ctr >= 0) == taken
+            : base_pred == taken;
+    if (!pred) {
+        for (unsigned t = provider_found ? provider + 1 : 0;
+             t < kNumTagged; ++t) {
+            TaggedEntry &e = tagged_[t][taggedIndex(pc, t, hist)];
+            if (!e.valid || e.useful == 0) {
+                e.valid = true;
+                e.tag = taggedTag(pc, t, hist);
+                e.ctr = taken ? 0 : -1;
+                e.useful = 0;
+                break;
+            }
+            if (e.useful > 0)
+                --e.useful;
+        }
+    }
+}
+
+void
+CondPredictor::pushHistory(bool taken)
+{
+    history_ = (history_ << 1) | (taken ? 1 : 0);
+}
+
+Btb::Btb(std::uint32_t entries)
+    : entries_(entries)
+{
+}
+
+FuncId
+Btb::predict(Addr pc) const
+{
+    const Entry &e = entries_[(pc >> 2) % entries_.size()];
+    if (e.valid && e.pc == pc)
+        return e.target;
+    return kNoFunc;
+}
+
+void
+Btb::update(Addr pc, FuncId target)
+{
+    Entry &e = entries_[(pc >> 2) % entries_.size()];
+    e.pc = pc;
+    e.target = target;
+    e.valid = true;
+}
+
+void
+Btb::flush()
+{
+    for (auto &e : entries_)
+        e.valid = false;
+}
+
+Rsb::Rsb(std::uint32_t entries)
+    : ring_(entries)
+{
+}
+
+void
+Rsb::push(Target t)
+{
+    ring_[top_] = t;
+    top_ = (top_ + 1) % ring_.size();
+    if (depth_ < ring_.size())
+        ++depth_;
+}
+
+Rsb::Target
+Rsb::pop()
+{
+    if (depth_ == 0) {
+        // Underflow: the stale slot at top_ (the most recently popped
+        // entry) provides the — attackable — prediction.
+        return ring_[top_];
+    }
+    std::uint32_t slot = (top_ + ring_.size() - 1) % ring_.size();
+    Target t = ring_[slot];
+    top_ = slot;
+    --depth_;
+    return t;
+}
+
+} // namespace perspective::sim

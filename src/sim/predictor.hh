@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Branch prediction structures: an L-TAGE-flavoured conditional
+ * predictor (bimodal base + tagged global-history components), a
+ * branch target buffer for indirect calls, and a return stack buffer.
+ *
+ * All three are deliberately *shared across contexts and untagged*,
+ * exactly like the structures Spectre v1/v2/RSB exploit: an attacker
+ * can mistrain a conditional branch, poison a BTB entry aliasing a
+ * victim's indirect call, or pollute the RSB before a victim return.
+ */
+
+#ifndef PERSPECTIVE_SIM_PREDICTOR_HH
+#define PERSPECTIVE_SIM_PREDICTOR_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "types.hh"
+
+namespace perspective::sim
+{
+
+/**
+ * Conditional branch predictor: a bimodal table of 2-bit counters plus
+ * three tagged components indexed by (pc ^ folded global history),
+ * after the spirit of L-TAGE. Longest-history hit provides the
+ * prediction; allocation on mispredict.
+ */
+class CondPredictor
+{
+  public:
+    CondPredictor();
+
+    /** Predict the direction of the branch at @p pc (uses the
+     * current speculative history). */
+    bool predict(Addr pc) const;
+
+    /**
+     * Train with the resolved direction. @p hist must be the history
+     * value that was current when the branch was *predicted* (the
+     * pipeline's per-branch checkpoint) so training touches the same
+     * table entries the prediction read.
+     */
+    void update(Addr pc, bool taken, std::uint64_t hist);
+
+    /** Speculative history update at fetch (undone on squash). */
+    void speculate(bool taken) { pushHistory(taken); }
+
+    /** Restore history to a checkpointed value after a squash. */
+    void restoreHistory(std::uint64_t h) { history_ = h; }
+    std::uint64_t history() const { return history_; }
+
+  private:
+    struct TaggedEntry
+    {
+        std::uint16_t tag = 0;
+        std::int8_t ctr = 0; ///< -4..3, >= 0 means taken
+        std::uint8_t useful = 0;
+        bool valid = false;
+    };
+
+    static constexpr unsigned kBimodalBits = 13;
+    static constexpr unsigned kTaggedBits = 10;
+    static constexpr unsigned kNumTagged = 3;
+    static constexpr std::array<unsigned, kNumTagged> kHistLen = {4, 12,
+                                                                  24};
+
+    void pushHistory(bool taken);
+    std::uint32_t taggedIndex(Addr pc, unsigned t,
+                              std::uint64_t hist) const;
+    std::uint16_t taggedTag(Addr pc, unsigned t,
+                            std::uint64_t hist) const;
+    static std::uint64_t foldedHistory(std::uint64_t hist,
+                                       unsigned bits, unsigned len);
+
+    std::vector<std::uint8_t> bimodal_; ///< 2-bit counters
+    std::array<std::vector<TaggedEntry>, kNumTagged> tagged_;
+    std::uint64_t history_ = 0;
+};
+
+/**
+ * Branch target buffer for indirect calls. Indexed and tagged by pc
+ * only — no ASID — so entries installed by one context are visible to
+ * another (the Spectre v2 injection vector).
+ */
+class Btb
+{
+  public:
+    explicit Btb(std::uint32_t entries = 4096);
+
+    /** Predicted target FuncId for @p pc, or kNoFunc on miss. */
+    FuncId predict(Addr pc) const;
+
+    /** Install/refresh the mapping pc -> target. */
+    void update(Addr pc, FuncId target);
+
+    /** Drop every entry (IBPB-style barrier). */
+    void flush();
+
+  private:
+    struct Entry
+    {
+        Addr pc = 0;
+        FuncId target = kNoFunc;
+        bool valid = false;
+    };
+
+    std::vector<Entry> entries_;
+};
+
+/**
+ * Return stack buffer: a circular stack of predicted return targets.
+ * Underflow falls back to the BTB-like last-popped value (which is
+ * what Spectre-RSB style underflow attacks abuse).
+ */
+class Rsb
+{
+  public:
+    explicit Rsb(std::uint32_t entries = 16);
+
+    struct Target
+    {
+        FuncId func = kNoFunc;
+        std::uint32_t idx = 0;
+    };
+
+    void push(Target t);
+
+    /** Pop a prediction; on underflow returns the stale top entry. */
+    Target pop();
+
+    /** Current logical depth (0..capacity). */
+    std::uint32_t depth() const { return depth_; }
+
+    /** Restore to a checkpointed (top, depth) after a squash. */
+    struct Checkpoint
+    {
+        std::uint32_t top;
+        std::uint32_t depth;
+    };
+    Checkpoint save() const { return {top_, depth_}; }
+    void restore(Checkpoint c)
+    {
+        top_ = c.top;
+        depth_ = c.depth;
+    }
+
+  private:
+    std::vector<Target> ring_;
+    std::uint32_t top_ = 0;   ///< index of next push slot
+    std::uint32_t depth_ = 0; ///< valid entries
+};
+
+} // namespace perspective::sim
+
+#endif // PERSPECTIVE_SIM_PREDICTOR_HH

@@ -1,0 +1,91 @@
+#include "program.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+namespace perspective::sim
+{
+
+FuncId
+Program::addFunction(std::string name, bool kernel)
+{
+    FuncId id = static_cast<FuncId>(funcs_.size());
+    Function f;
+    f.name = std::move(name);
+    f.id = id;
+    f.kernel = kernel;
+    byName_.emplace(f.name, id);
+    funcs_.push_back(std::move(f));
+    laidOut_ = false;
+    return id;
+}
+
+FuncId
+Program::findByName(const std::string &name) const
+{
+    auto it = byName_.find(name);
+    return it == byName_.end() ? kNoFunc : it->second;
+}
+
+void
+Program::layout()
+{
+    Addr kernel_cursor = kKernelTextBase;
+    Addr user_cursor = kUserBase;
+    layoutIndex_.clear();
+    layoutIndex_.reserve(funcs_.size());
+
+    for (auto &f : funcs_) {
+        Addr &cursor = f.kernel ? kernel_cursor : user_cursor;
+        f.base = cursor;
+        cursor += Addr{f.body.size()} * kInstBytes;
+        // Align the next function so none spans a page boundary more
+        // than necessary and layout stays deterministic.
+        cursor = (cursor + kInstBytes - 1) & ~(kInstBytes - 1);
+        layoutIndex_.emplace_back(f.base, f.id);
+    }
+    kernelTextEnd_ = kernel_cursor;
+    std::sort(layoutIndex_.begin(), layoutIndex_.end());
+    laidOut_ = true;
+}
+
+std::pair<FuncId, std::uint32_t>
+Program::resolve(Addr va) const
+{
+    assert(laidOut_);
+    auto it = std::upper_bound(layoutIndex_.begin(), layoutIndex_.end(),
+                               std::make_pair(va, kNoFunc));
+    if (it == layoutIndex_.begin())
+        return {kNoFunc, 0};
+    --it;
+    const Function &f = funcs_[it->second];
+    Addr end = f.base + Addr{f.body.size()} * kInstBytes;
+    if (va < f.base || va >= end)
+        return {kNoFunc, 0};
+    return {f.id, static_cast<std::uint32_t>((va - f.base) / kInstBytes)};
+}
+
+std::string
+Program::disassemble(FuncId id) const
+{
+    const Function &f = funcs_[id];
+    std::ostringstream os;
+    os << f.name << ":  ; " << (f.kernel ? "kernel" : "user")
+       << ", base 0x" << std::hex << f.base << std::dec << "\n";
+    for (std::uint32_t i = 0; i < f.body.size(); ++i)
+        os << "  " << i << ": " << f.body[i].toString() << "\n";
+    return os.str();
+}
+
+std::size_t
+Program::totalOps() const
+{
+    std::size_t n = 0;
+    for (const auto &f : funcs_)
+        n += f.body.size();
+    return n;
+}
+
+} // namespace perspective::sim

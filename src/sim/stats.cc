@@ -1,0 +1,13 @@
+#include "stats.hh"
+
+namespace perspective::sim
+{
+
+void
+StatSet::dump(std::ostream &os) const
+{
+    for (const auto &[name, value] : counters_)
+        os << name << " " << value << "\n";
+}
+
+} // namespace perspective::sim

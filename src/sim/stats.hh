@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Lightweight named statistics registry, loosely modeled after the gem5
+ * stats package: counters are created on demand and can be dumped or
+ * queried by name at the end of a simulation.
+ */
+
+#ifndef PERSPECTIVE_SIM_STATS_HH
+#define PERSPECTIVE_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace perspective::sim
+{
+
+/**
+ * A bag of named 64-bit counters. Each Pipeline owns one; subsystems
+ * (caches, predictors, policies) increment counters through it so that
+ * experiment harnesses can compute derived metrics such as hit rates or
+ * fences-per-kilo-instruction.
+ */
+class StatSet
+{
+  public:
+    /** Add @p delta to counter @p name, creating it at zero if absent. */
+    void
+    inc(const std::string &name, std::uint64_t delta = 1)
+    {
+        counters_[name] += delta;
+    }
+
+    /** Read counter @p name; absent counters read as zero. */
+    std::uint64_t
+    get(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second;
+    }
+
+    /** Ratio helper: get(num) / get(den), 0 when the denominator is 0. */
+    double
+    ratio(const std::string &num, const std::string &den) const
+    {
+        std::uint64_t d = get(den);
+        return d == 0 ? 0.0 : static_cast<double>(get(num)) / d;
+    }
+
+    /** Reset every counter to zero. */
+    void
+    clear()
+    {
+        counters_.clear();
+    }
+
+    /** Dump all counters, sorted by name, one per line. */
+    void dump(std::ostream &os) const;
+
+    /** Access the underlying map (read-only). */
+    const std::map<std::string, std::uint64_t> &
+    all() const
+    {
+        return counters_;
+    }
+
+  private:
+    std::map<std::string, std::uint64_t> counters_;
+};
+
+} // namespace perspective::sim
+
+#endif // PERSPECTIVE_SIM_STATS_HH

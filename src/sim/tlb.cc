@@ -1,0 +1,42 @@
+#include "tlb.hh"
+
+#include <cassert>
+
+namespace perspective::sim
+{
+
+Tlb::Tlb(std::uint32_t entries, std::uint32_t assoc, Cycle walk_latency)
+    : assoc_(assoc), walkLatency_(walk_latency)
+{
+    assert(entries % assoc == 0);
+    numSets_ = entries / assoc;
+    entries_.resize(entries);
+}
+
+Cycle
+Tlb::translate(Addr va, Asid asid)
+{
+    Addr vpn = pageNumber(va);
+    std::uint64_t set = vpn % numSets_;
+    Entry *victim = nullptr;
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+        Entry &e = entries_[set * assoc_ + w];
+        if (e.valid && e.vpn == vpn && e.asid == asid) {
+            e.lru = ++useClock_;
+            ++hits_;
+            return 1;
+        }
+        if (!victim || (victim->valid &&
+                        (!e.valid || e.lru < victim->lru))) {
+            victim = &e;
+        }
+    }
+    ++misses_;
+    victim->valid = true;
+    victim->vpn = vpn;
+    victim->asid = asid;
+    victim->lru = ++useClock_;
+    return walkLatency_;
+}
+
+} // namespace perspective::sim

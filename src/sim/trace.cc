@@ -1,0 +1,99 @@
+#include "trace.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace perspective::sim::trace
+{
+
+namespace
+{
+
+std::uint32_t g_flags = 0;
+std::ostream *g_stream = nullptr;
+
+const char *
+flagName(Flag f)
+{
+    switch (f) {
+      case Flag::Fetch: return "fetch";
+      case Flag::Commit: return "commit";
+      case Flag::Squash: return "squash";
+      case Flag::Fence: return "fence";
+      case Flag::Predict: return "predict";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+enable(Flag f)
+{
+    g_flags |= static_cast<std::uint32_t>(f);
+}
+
+void
+disable(Flag f)
+{
+    g_flags &= ~static_cast<std::uint32_t>(f);
+}
+
+void
+reset()
+{
+    g_flags = 0;
+    g_stream = nullptr;
+}
+
+bool
+enabled(Flag f)
+{
+    return (g_flags & static_cast<std::uint32_t>(f)) != 0;
+}
+
+unsigned
+enableFromString(const std::string &spec)
+{
+    unsigned n = 0;
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        std::string name = spec.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        for (Flag f : {Flag::Fetch, Flag::Commit, Flag::Squash,
+                       Flag::Fence, Flag::Predict}) {
+            if (name == flagName(f)) {
+                enable(f);
+                ++n;
+            }
+        }
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return n;
+}
+
+void
+enableFromEnvironment()
+{
+    if (const char *spec = std::getenv("PERSPECTIVE_TRACE"))
+        enableFromString(spec);
+}
+
+void
+setStream(std::ostream *os)
+{
+    g_stream = os;
+}
+
+void
+log(Flag f, Cycle cycle, const std::string &message)
+{
+    std::ostream &os = g_stream ? *g_stream : std::cerr;
+    os << cycle << ": " << flagName(f) << ": " << message << "\n";
+}
+
+} // namespace perspective::sim::trace

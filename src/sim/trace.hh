@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Lightweight debug tracing, in the spirit of gem5's debug flags:
+ * named categories that can be switched on at runtime (or through the
+ * PERSPECTIVE_TRACE environment variable, comma-separated), each
+ * emitting one line per event to a configurable stream. All logging
+ * is compiled in but costs a single branch when disabled.
+ */
+
+#ifndef PERSPECTIVE_SIM_TRACE_HH
+#define PERSPECTIVE_SIM_TRACE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "types.hh"
+
+namespace perspective::sim::trace
+{
+
+/** Trace categories. */
+enum class Flag : std::uint32_t
+{
+    Fetch = 1u << 0,   ///< micro-ops entering the ROB
+    Commit = 1u << 1,  ///< micro-ops retiring
+    Squash = 1u << 2,  ///< mispredictions and their redirects
+    Fence = 1u << 3,   ///< policy-blocked transmitters
+    Predict = 1u << 4, ///< BTB/RSB/conditional predictions
+};
+
+/** Enable one category. */
+void enable(Flag f);
+
+/** Disable one category. */
+void disable(Flag f);
+
+/** Disable everything and restore the default stream. */
+void reset();
+
+/** True when @p f is enabled (the fast-path check). */
+bool enabled(Flag f);
+
+/**
+ * Parse a comma-separated flag list ("commit,squash"); unknown names
+ * are ignored. Returns the number of flags enabled.
+ */
+unsigned enableFromString(const std::string &spec);
+
+/** Read PERSPECTIVE_TRACE from the environment, if set. */
+void enableFromEnvironment();
+
+/** Redirect trace output (defaults to std::cerr). */
+void setStream(std::ostream *os);
+
+/** Emit one line: "<cycle>: <tag>: <message>". */
+void log(Flag f, Cycle cycle, const std::string &message);
+
+} // namespace perspective::sim::trace
+
+#endif // PERSPECTIVE_SIM_TRACE_HH

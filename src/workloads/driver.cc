@@ -1,0 +1,30 @@
+#include "driver.hh"
+
+namespace perspective::workloads
+{
+
+using namespace sim;
+using kernel::Sys;
+
+DriverSet::DriverSet(kernel::KernelImage &img)
+{
+    Program &prog = img.program();
+    for (unsigned i = 0; i < kernel::kNumSyscalls; ++i) {
+        Sys s = static_cast<Sys>(i);
+        FuncId f = prog.addFunction(
+            "drv_" + std::string(kernel::sysName(s)), false);
+        prog.func(f).body = {
+            movImm(20, 0),                         // 0
+            branch(Cond::Ge, 20, dreg::kPadIters, 6), // 1
+            add(22, dreg::kUserBuf, 20),           // 2
+            load(21, 22, 0),                       // 3
+            addImm(20, 20, 1),                     // 4
+            jump(1),                               // 5
+            call(img.entryOf(s)),                  // 6
+            ret(),                                 // 7
+        };
+        drivers_[i] = f;
+    }
+}
+
+} // namespace perspective::workloads

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Userspace driver functions: one tiny user-mode function per
+ * syscall, consisting of a tunable userspace compute loop followed by
+ * the call into the kernel entry point. The loop count is taken from
+ * register r18 at run time so one driver body serves every workload's
+ * kernel-time fraction.
+ */
+
+#ifndef PERSPECTIVE_WORKLOADS_DRIVER_HH
+#define PERSPECTIVE_WORKLOADS_DRIVER_HH
+
+#include <array>
+
+#include "kernel/image.hh"
+#include "kernel/syscalls.hh"
+
+namespace perspective::workloads
+{
+
+/** Register conventions for workload drivers. */
+namespace dreg
+{
+inline constexpr sim::RegId kUserBuf = 17; ///< user data region base
+inline constexpr sim::RegId kPadIters = 18;///< userspace loop count
+} // namespace dreg
+
+/** Builds and indexes the per-syscall user driver functions. */
+class DriverSet
+{
+  public:
+    /** Appends one user function per syscall to img.program(). Must
+     * run before Program::layout(). */
+    explicit DriverSet(kernel::KernelImage &img);
+
+    /** Driver function issuing syscall @p s. */
+    sim::FuncId driverFor(kernel::Sys s) const
+    {
+        return drivers_[static_cast<unsigned>(s)];
+    }
+
+    /** All driver function ids (the "application binary" the static
+     * ISV analysis disassembles). */
+    std::vector<sim::FuncId>
+    all() const
+    {
+        return {drivers_.begin(), drivers_.end()};
+    }
+
+  private:
+    std::array<sim::FuncId, kernel::kNumSyscalls> drivers_{};
+};
+
+} // namespace perspective::workloads
+
+#endif // PERSPECTIVE_WORKLOADS_DRIVER_HH

@@ -1,0 +1,274 @@
+#include "experiment.hh"
+
+#include <algorithm>
+
+#include "kernel/process.hh"
+
+namespace perspective::workloads
+{
+
+using kernel::Pid;
+using kernel::Sys;
+using sim::FuncId;
+
+const char *
+schemeName(Scheme s)
+{
+    switch (s) {
+      case Scheme::Unsafe: return "unsafe";
+      case Scheme::Fence: return "fence";
+      case Scheme::Dom: return "dom";
+      case Scheme::Stt: return "stt";
+      case Scheme::Spot: return "spot";
+      case Scheme::SpecCfi: return "spec-cfi";
+      case Scheme::InvisiSpec: return "invisispec";
+      case Scheme::PerspectiveStatic: return "perspective-static";
+      case Scheme::Perspective: return "perspective";
+      case Scheme::PerspectivePlusPlus: return "perspective++";
+    }
+    return "?";
+}
+
+std::vector<Scheme>
+paperSchemes()
+{
+    return {Scheme::Unsafe, Scheme::Fence, Scheme::PerspectiveStatic,
+            Scheme::Perspective, Scheme::PerspectivePlusPlus};
+}
+
+std::vector<Scheme>
+allSchemes()
+{
+    return {Scheme::Unsafe,           Scheme::Fence,
+            Scheme::Dom,              Scheme::Stt,
+            Scheme::Spot,             Scheme::SpecCfi,
+            Scheme::PerspectiveStatic, Scheme::Perspective,
+            Scheme::PerspectivePlusPlus};
+}
+
+namespace
+{
+
+bool
+isPerspective(Scheme s)
+{
+    return s == Scheme::PerspectiveStatic ||
+           s == Scheme::Perspective ||
+           s == Scheme::PerspectivePlusPlus;
+}
+
+} // namespace
+
+Experiment::Experiment(const WorkloadProfile &profile, Scheme scheme,
+                       std::uint64_t seed)
+    : profile_(profile), scheme_(scheme)
+{
+    kernel::ImageParams ip;
+    ip.seed = seed;
+    img_ = std::make_unique<kernel::KernelImage>(mem_, ip);
+    drivers_ = std::make_unique<DriverSet>(*img_);
+    img_->program().layout();
+
+    kernel::KernelParams kp;
+    kp.secureSlab = isPerspective(scheme);
+    ks_ = std::make_unique<kernel::KernelState>(mem_, kp);
+    exec_ = std::make_unique<kernel::SyscallExecutor>(*ks_, *img_);
+
+    // The measured tenant plus a co-located victim tenant whose
+    // memory must stay confidential, and a background tenant for
+    // allocator realism.
+    kernel::CgroupId cg_main = ks_->createCgroup(profile.name);
+    kernel::CgroupId cg_victim = ks_->createCgroup("victim-tenant");
+    kernel::CgroupId cg_bg = ks_->createCgroup("background");
+    mainPid_ = ks_->createProcess(cg_main);
+    victimPid_ = ks_->createProcess(cg_victim);
+    (void)ks_->createProcess(cg_bg);
+
+    // Give the victim a secret in its context block.
+    mem_.write(ks_->task(victimPid_).ctxVa +
+                   kernel::KernelImage::kSecretCtxOff,
+               0x5e);
+
+    cpu_ = std::make_unique<sim::Pipeline>(img_->program(), mem_);
+
+    // Scheme wiring.
+    switch (scheme_) {
+      case Scheme::Unsafe:
+        policy_ = nullptr;
+        break;
+      case Scheme::Fence:
+        simplePolicy_ = std::make_unique<defenses::FencePolicy>();
+        policy_ = simplePolicy_.get();
+        break;
+      case Scheme::Dom:
+        simplePolicy_ = std::make_unique<defenses::DomPolicy>();
+        policy_ = simplePolicy_.get();
+        break;
+      case Scheme::Stt:
+        simplePolicy_ = std::make_unique<defenses::SttPolicy>();
+        policy_ = simplePolicy_.get();
+        break;
+      case Scheme::Spot:
+        simplePolicy_ =
+            std::make_unique<defenses::SpotMitigationPolicy>();
+        policy_ = simplePolicy_.get();
+        break;
+      case Scheme::SpecCfi:
+        simplePolicy_ = std::make_unique<defenses::SpecCfiPolicy>();
+        policy_ = simplePolicy_.get();
+        break;
+      case Scheme::InvisiSpec:
+        simplePolicy_ =
+            std::make_unique<defenses::InvisiSpecPolicy>();
+        policy_ = simplePolicy_.get();
+        break;
+      case Scheme::PerspectiveStatic:
+      case Scheme::Perspective:
+      case Scheme::PerspectivePlusPlus: {
+        buildIsv();
+        perspective_ = std::make_unique<core::PerspectivePolicy>(
+            ks_->ownership(), core::PerspectiveConfig{},
+            schemeName(scheme_));
+        registerPerspectiveContext(mainPid_);
+        registerPerspectiveContext(victimPid_);
+        policy_ = perspective_.get();
+        break;
+      }
+    }
+
+    cpu_->setPolicy(policy_);
+    const kernel::Task &t = ks_->task(mainPid_);
+    cpu_->setAsid(t.asid);
+    cpu_->setKernelStackBase(t.stackTopVa);
+    cpu_->setReg(dreg::kUserBuf, 0x3000'0000 + t.pid * 0x10'0000);
+}
+
+void
+Experiment::buildIsv()
+{
+    if (scheme_ == Scheme::PerspectiveStatic) {
+        core::StaticIsvBuilder builder(*img_);
+        std::set<Sys> sys;
+        for (Sys s : staticSyscallSet(profile_))
+            sys.insert(s);
+        isv_.emplace(builder.build(sys));
+        return;
+    }
+
+    // Dynamic ISV: trace the process lifecycle (startup + steady
+    // state) offline, like the kernel tracing subsystem would.
+    core::DynamicIsvBuilder builder(*img_);
+    auto observe = [&](FuncId f) { builder.observe(f); };
+    for (const auto &inv : processStartupTrace()) {
+        auto prep = exec_->prepare(mainPid_, inv);
+        kernel::Interpreter in(img_->program(), mem_);
+        for (auto [r, v] : prep.regs)
+            in.setReg(r, v);
+        in.run(img_->entryOf(inv.sys), 2'000'000, observe);
+        exec_->finish(mainPid_, inv);
+    }
+    for (unsigned i = 0; i < 3; ++i)
+        traceRequest(observe);
+    isv_.emplace(builder.build());
+
+    if (scheme_ == Scheme::PerspectivePlusPlus) {
+        // ISV++: exclude every gadget function the (ISV-bounded)
+        // audit reports. The bounded scanner deterministically finds
+        // all planted gadgets inside the view (see
+        // analysis/scanner.cc), so the exclusion set equals the
+        // in-view gadget functions.
+        std::vector<FuncId> vulnerable;
+        for (FuncId f : img_->functionsWithGadgets()) {
+            if (isv_->containsFunction(f))
+                vulnerable.push_back(f);
+        }
+        core::applyAudit(*isv_, vulnerable);
+    }
+}
+
+void
+Experiment::registerPerspectiveContext(Pid pid)
+{
+    if (!perspective_)
+        return;
+    const kernel::Task &t = ks_->task(pid);
+    perspective_->registerContext(t.asid, t.domain,
+                                  isv_ ? &*isv_ : nullptr);
+}
+
+void
+Experiment::traceRequest(
+    const std::function<void(FuncId)> &on_func)
+{
+    for (const auto &inv : profile_.request) {
+        auto prep = exec_->prepare(mainPid_, inv);
+        kernel::Interpreter in(img_->program(), mem_);
+        for (auto [r, v] : prep.regs)
+            in.setReg(r, v);
+        in.setReg(dreg::kPadIters, 0);
+        in.run(img_->entryOf(inv.sys), 2'000'000, on_func);
+        exec_->finish(mainPid_, inv);
+    }
+}
+
+sim::RunResult
+Experiment::runRequestOnPipeline()
+{
+    return runRequestAs(mainPid_);
+}
+
+sim::RunResult
+Experiment::runRequestAs(Pid pid)
+{
+    const kernel::Task &t = ks_->task(pid);
+    cpu_->setAsid(t.asid);
+    cpu_->setKernelStackBase(t.stackTopVa);
+    cpu_->setReg(dreg::kUserBuf, 0x3000'0000 + t.pid * 0x10'0000);
+
+    sim::RunResult total;
+    for (const auto &inv : profile_.request) {
+        auto prep = exec_->prepare(pid, inv);
+        for (auto [r, v] : prep.regs)
+            cpu_->setReg(r, v);
+        cpu_->setReg(dreg::kPadIters, profile_.userPadIters);
+        auto r = cpu_->run(drivers_->driverFor(inv.sys));
+        exec_->finish(pid, inv);
+        total.cycles += r.cycles;
+        total.instructions += r.instructions;
+    }
+    return total;
+}
+
+RunResult
+Experiment::run(unsigned iterations, unsigned warmup)
+{
+    for (unsigned i = 0; i < warmup; ++i)
+        runRequestOnPipeline();
+
+    // Snapshot counters so the result covers only measured work.
+    sim::StatSet &st = cpu_->stats();
+    std::uint64_t inst0 = st.get("committed");
+    std::uint64_t kinst0 = st.get("committed.kernel");
+    std::uint64_t fence0 = st.get("fences");
+    std::uint64_t isvf0 = st.get("perspective.fence.isv");
+    std::uint64_t dsvf0 = st.get("perspective.fence.dsv");
+
+    RunResult out;
+    for (unsigned i = 0; i < iterations; ++i) {
+        auto r = runRequestOnPipeline();
+        out.cycles += r.cycles;
+    }
+    out.instructions = st.get("committed") - inst0;
+    out.kernelInstructions = st.get("committed.kernel") - kinst0;
+    out.fences = st.get("fences") - fence0;
+    out.isvFences = st.get("perspective.fence.isv") - isvf0;
+    out.dsvFences = st.get("perspective.fence.dsv") - dsvf0;
+    if (perspective_) {
+        out.isvCacheHitRate = perspective_->isvCache().hitRate();
+        out.dsvCacheHitRate = perspective_->dsvCache().hitRate();
+    }
+    out.stats = st;
+    return out;
+}
+
+} // namespace perspective::workloads

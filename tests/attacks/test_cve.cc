@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "attacks/cve.hh"
+
+using namespace perspective::attacks;
+
+TEST(CveCatalog, RowsAreNumberedAndDescribed)
+{
+    unsigned expect = 1;
+    for (const auto &row : cveCatalog()) {
+        EXPECT_EQ(row.row, expect++);
+        EXPECT_FALSE(row.cves.empty());
+        EXPECT_FALSE(row.description.empty());
+        EXPECT_FALSE(row.origin.empty());
+    }
+}
+
+TEST(CveCatalog, DataAccessRowsMapToActivePocs)
+{
+    for (const auto &row : cveCatalog()) {
+        if (row.primitive == Primitive::SpeculativeDataAccess) {
+            EXPECT_TRUE(row.poc == PocKind::ActiveV1Ioctl ||
+                        row.poc == PocKind::ActiveV1Ptrace ||
+                        row.poc == PocKind::ActiveV1Bpf)
+                << row.row;
+        } else {
+            EXPECT_TRUE(row.poc == PocKind::PassiveV2 ||
+                        row.poc == PocKind::PassiveRetbleed)
+                << row.row;
+        }
+    }
+}
+
+TEST(CveCatalog, XilinxRowMatchesPaper)
+{
+    const auto &row1 = cveCatalog()[0];
+    EXPECT_NE(row1.cves.find("CVE-2022-27223"),
+              std::string_view::npos);
+    EXPECT_EQ(row1.origin, "Xilinx USB driver");
+    EXPECT_EQ(row1.gap, MitigationGap::None);
+}
+
+TEST(CveCatalog, RetbleedRowIsSoftwareGap)
+{
+    for (const auto &row : cveCatalog()) {
+        if (row.poc == PocKind::PassiveRetbleed) {
+            EXPECT_EQ(row.gap, MitigationGap::Software);
+            EXPECT_NE(row.description.find("Retbleed"),
+                      std::string_view::npos);
+        }
+    }
+}
+
+TEST(CveCatalog, NamesAreStable)
+{
+    EXPECT_EQ(pocName(PocKind::ActiveV1Ioctl), "active-v1-ioctl");
+    EXPECT_EQ(gapName(MitigationGap::Misuse), "Misuse");
+    EXPECT_FALSE(
+        primitiveName(Primitive::ControlFlowHijack).empty());
+}

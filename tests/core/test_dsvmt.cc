@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "core/dsvmt.hh"
+
+using namespace perspective::core;
+using perspective::kernel::directMapVa;
+using perspective::kernel::Pfn;
+
+TEST(Dsvmt, LeafBitRoundTrip)
+{
+    Dsvmt t;
+    EXPECT_FALSE(t.queryPfn(1234));
+    t.setPage(1234, true);
+    EXPECT_TRUE(t.queryPfn(1234));
+    EXPECT_FALSE(t.queryPfn(1235));
+    t.setPage(1234, false);
+    EXPECT_FALSE(t.queryPfn(1234));
+}
+
+TEST(Dsvmt, VaQueryUsesDirectMap)
+{
+    Dsvmt t;
+    t.setPage(777, true);
+    EXPECT_TRUE(t.queryVa(directMapVa(777)));
+    EXPECT_TRUE(t.queryVa(directMapVa(777) + 4095));
+    EXPECT_FALSE(t.queryVa(directMapVa(778)));
+    EXPECT_FALSE(t.queryVa(0x1000)); // not in the direct map
+}
+
+TEST(Dsvmt, TwoMegEntryCoversGranule)
+{
+    Dsvmt t;
+    Pfn base = 512 * 10; // granule-aligned
+    t.set2M(base, true);
+    EXPECT_TRUE(t.queryPfn(base));
+    EXPECT_TRUE(t.queryPfn(base + 511));
+    EXPECT_FALSE(t.queryPfn(base + 512));
+    EXPECT_EQ(t.walkLevels(base), 2u);
+}
+
+TEST(Dsvmt, OneGigEntry)
+{
+    Dsvmt t;
+    Pfn base = (1ull << 18) * 2; // 1 GiB aligned
+    t.set1G(base, true);
+    EXPECT_TRUE(t.queryPfn(base + 99999));
+    EXPECT_EQ(t.walkLevels(base), 1u);
+}
+
+TEST(Dsvmt, LeafOverridesHugeMapping)
+{
+    Dsvmt t;
+    Pfn base = 512 * 4;
+    t.set2M(base, true);
+    t.setPage(base + 5, false); // demote one page out
+    EXPECT_FALSE(t.queryPfn(base + 5));
+    // Sibling pages in the materialized leaf default to clear; only
+    // explicit leaf bits are set.
+    EXPECT_EQ(t.walkLevels(base + 5), 3u);
+}
+
+TEST(Dsvmt, WalkLevelsDefaultIsTop)
+{
+    Dsvmt t;
+    EXPECT_EQ(t.walkLevels(42), 1u);
+}
+
+TEST(Dsvmt, MemoryGrowsWithLeaves)
+{
+    Dsvmt t;
+    std::size_t m0 = t.memoryBytes();
+    t.setPage(100, true);
+    t.setPage(100000, true);
+    EXPECT_GT(t.memoryBytes(), m0);
+    t.clear();
+    EXPECT_EQ(t.memoryBytes(), 0u);
+}

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "core/hwcache.hh"
+
+using namespace perspective::core;
+using perspective::sim::Addr;
+
+namespace
+{
+
+constexpr Addr kPc = 0xffff'8000'0000'1000;
+constexpr Addr kPage = 0xffff'c000'0000'2000;
+
+IsvRegionBits
+allowAll()
+{
+    IsvRegionBits b;
+    b.bits = {~0ull, ~0ull};
+    return b;
+}
+
+} // namespace
+
+TEST(IsvCache, MissThenHit)
+{
+    IsvCache c;
+    EXPECT_FALSE(c.lookup(kPc, 1, false).hit);
+    c.fill(kPc, 1, allowAll());
+    auto r = c.lookup(kPc, 1, false);
+    EXPECT_TRUE(r.hit);
+    EXPECT_TRUE(r.allow);
+}
+
+TEST(IsvCache, PerInstructionBits)
+{
+    IsvCache c;
+    IsvRegionBits b;
+    b.set(0);
+    b.set(5);
+    Addr base = kPc & ~Addr{511};
+    c.fill(base, 1, b);
+    EXPECT_TRUE(c.lookup(base, 1, false).allow);
+    EXPECT_FALSE(c.lookup(base + 4, 1, false).allow);
+    EXPECT_TRUE(c.lookup(base + 5 * 4, 1, false).allow);
+}
+
+TEST(IsvCache, AsidTaggingIsolatesContexts)
+{
+    IsvCache c;
+    c.fill(kPc, 1, allowAll());
+    EXPECT_TRUE(c.lookup(kPc, 1, false).hit);
+    EXPECT_FALSE(c.lookup(kPc, 2, false).hit);
+}
+
+TEST(IsvCache, InFlightFillStillMisses)
+{
+    IsvCache c;
+    c.fill(kPc, 1, allowAll(), /*ready_at=*/100);
+    EXPECT_FALSE(c.lookup(kPc, 1, false, /*now=*/50).hit);
+    EXPECT_TRUE(c.lookup(kPc, 1, false, /*now=*/100).hit);
+}
+
+TEST(IsvCache, InvalidateAsidDropsOnlyThatContext)
+{
+    IsvCache c;
+    c.fill(kPc, 1, allowAll());
+    c.fill(kPc, 2, allowAll());
+    c.invalidateAsid(1);
+    EXPECT_FALSE(c.lookup(kPc, 1, false).hit);
+    EXPECT_TRUE(c.lookup(kPc, 2, false).hit);
+}
+
+TEST(IsvCache, HitRateAccounting)
+{
+    IsvCache c;
+    (void)c.lookup(kPc, 1, false);
+    c.fill(kPc, 1, allowAll());
+    (void)c.lookup(kPc, 1, false);
+    EXPECT_EQ(c.hits(), 1u);
+    EXPECT_EQ(c.misses(), 1u);
+    EXPECT_DOUBLE_EQ(c.hitRate(), 0.5);
+}
+
+TEST(IsvCache, UncountedLookupLeavesStats)
+{
+    IsvCache c;
+    c.fill(kPc, 1, allowAll());
+    (void)c.lookup(kPc, 1, false, 0, /*count=*/false);
+    EXPECT_EQ(c.hits(), 0u);
+}
+
+TEST(DsvCache, MissFillHit)
+{
+    DsvCache c;
+    EXPECT_FALSE(c.lookup(kPage, 1, false).hit);
+    c.fill(kPage, 1, true);
+    auto r = c.lookup(kPage + 0x123, 1, false);
+    EXPECT_TRUE(r.hit);
+    EXPECT_TRUE(r.allow);
+}
+
+TEST(DsvCache, NegativeEntryBlocks)
+{
+    DsvCache c;
+    c.fill(kPage, 1, false);
+    auto r = c.lookup(kPage, 1, false);
+    EXPECT_TRUE(r.hit);
+    EXPECT_FALSE(r.allow);
+}
+
+TEST(DsvCache, PageInvalidationShootsDownAllAsids)
+{
+    DsvCache c;
+    c.fill(kPage, 1, true);
+    c.fill(kPage, 2, false);
+    c.invalidatePage(kPage + 8);
+    EXPECT_FALSE(c.lookup(kPage, 1, false).hit);
+    EXPECT_FALSE(c.lookup(kPage, 2, false).hit);
+}
+
+TEST(DsvCache, DistinctPagesCoexist)
+{
+    DsvCache c;
+    c.fill(kPage, 1, true);
+    c.fill(kPage + 0x1000, 1, false);
+    EXPECT_TRUE(c.lookup(kPage, 1, false).allow);
+    EXPECT_FALSE(c.lookup(kPage + 0x1000, 1, false).allow);
+}

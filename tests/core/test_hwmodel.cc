@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include "core/hwmodel.hh"
+
+using namespace perspective::core;
+
+TEST(HwModel, DsvCacheMatchesTable91)
+{
+    auto c = characterizeSram(dsvCacheGeometry());
+    // Table 9.1: 0.0024 mm2, 114 ps, 1.21 pJ, 0.78 mW.
+    EXPECT_NEAR(c.areaMm2, 0.0024, 0.0006);
+    EXPECT_NEAR(c.accessPs, 114.0, 10.0);
+    EXPECT_NEAR(c.dynEnergyPj, 1.21, 0.5);
+    EXPECT_NEAR(c.leakPowerMw, 0.78, 0.25);
+}
+
+TEST(HwModel, IsvCacheMatchesTable91)
+{
+    auto c = characterizeSram(isvCacheGeometry());
+    // Table 9.1: 0.0025 mm2, 115 ps, 1.29 pJ, 0.79 mW.
+    EXPECT_NEAR(c.areaMm2, 0.0025, 0.0006);
+    EXPECT_NEAR(c.accessPs, 115.0, 10.0);
+    EXPECT_NEAR(c.dynEnergyPj, 1.29, 0.5);
+    EXPECT_NEAR(c.leakPowerMw, 0.79, 0.25);
+}
+
+TEST(HwModel, IsvSlightlyLargerThanDsv)
+{
+    auto isv = characterizeSram(isvCacheGeometry());
+    auto dsv = characterizeSram(dsvCacheGeometry());
+    EXPECT_GT(isv.areaMm2, dsv.areaMm2);
+    EXPECT_GE(isv.accessPs, dsv.accessPs);
+    EXPECT_GT(isv.dynEnergyPj, dsv.dynEnergyPj);
+}
+
+TEST(HwModel, ScalesWithGeometry)
+{
+    SramGeometry small = dsvCacheGeometry();
+    SramGeometry big = small;
+    big.entries *= 4;
+    auto cs = characterizeSram(small);
+    auto cb = characterizeSram(big);
+    EXPECT_GT(cb.areaMm2, cs.areaMm2 * 3.0);
+    EXPECT_GT(cb.accessPs, cs.accessPs);
+    EXPECT_GT(cb.leakPowerMw, cs.leakPowerMw);
+}
+
+TEST(HwModel, NodeScaling)
+{
+    SramGeometry n22 = dsvCacheGeometry();
+    SramGeometry n45 = n22;
+    n45.nodeNm = 45;
+    EXPECT_GT(characterizeSram(n45).areaMm2,
+              characterizeSram(n22).areaMm2 * 2.0);
+}

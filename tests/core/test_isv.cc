@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "core/isv.hh"
+#include "sim/program.hh"
+
+using namespace perspective::core;
+using namespace perspective::sim;
+
+namespace
+{
+
+struct IsvFixture : ::testing::Test
+{
+    Program prog;
+    FuncId f1, f2;
+
+    IsvFixture()
+    {
+        f1 = prog.addFunction("k1", true);
+        f2 = prog.addFunction("k2", true);
+        prog.func(f1).body = {nop(), nop(), ret()};
+        prog.func(f2).body = {nop(), ret()};
+        prog.layout();
+    }
+};
+
+} // namespace
+
+TEST_F(IsvFixture, EmptyViewContainsNothing)
+{
+    IsvView v(prog);
+    EXPECT_EQ(v.numFunctions(), 0u);
+    EXPECT_FALSE(v.contains(prog.func(f1).instAddr(0)));
+}
+
+TEST_F(IsvFixture, IncludeCoversEveryInstruction)
+{
+    IsvView v(prog);
+    v.includeFunction(f1);
+    for (std::uint32_t i = 0; i < 3; ++i)
+        EXPECT_TRUE(v.contains(prog.func(f1).instAddr(i)));
+    EXPECT_FALSE(v.contains(prog.func(f2).instAddr(0)));
+    EXPECT_TRUE(v.containsFunction(f1));
+    EXPECT_FALSE(v.containsFunction(f2));
+}
+
+TEST_F(IsvFixture, ExcludeIsTheSwiftPatchInterface)
+{
+    IsvView v(prog);
+    v.includeFunction(f1);
+    v.includeFunction(f2);
+    std::uint64_t e0 = v.epoch();
+    v.excludeFunction(f1);
+    EXPECT_GT(v.epoch(), e0);
+    EXPECT_FALSE(v.contains(prog.func(f1).instAddr(0)));
+    EXPECT_TRUE(v.contains(prog.func(f2).instAddr(0)));
+}
+
+TEST_F(IsvFixture, DoubleIncludeIsIdempotent)
+{
+    IsvView v(prog);
+    v.includeFunction(f1);
+    std::uint64_t e = v.epoch();
+    v.includeFunction(f1);
+    EXPECT_EQ(v.epoch(), e);
+    EXPECT_EQ(v.numFunctions(), 1u);
+}
+
+TEST_F(IsvFixture, RegionBitsMatchContains)
+{
+    IsvView v(prog);
+    v.includeFunction(f1);
+    Addr pc = prog.func(f1).instAddr(1);
+    auto bits = v.regionBits(pc, 512);
+    Addr base = pc & ~Addr{511};
+    for (unsigned i = 0; i < 128; ++i) {
+        bool bit = (bits[i / 64] >> (i % 64)) & 1;
+        EXPECT_EQ(bit, v.contains(base + Addr{i} * kInstBytes));
+    }
+}
+
+TEST_F(IsvFixture, NonKernelAddressesOutside)
+{
+    IsvView v(prog);
+    v.includeFunction(f1);
+    EXPECT_FALSE(v.contains(0x1000));
+}
+
+TEST_F(IsvFixture, IntersectRestrictsToCommonFunctions)
+{
+    IsvView app(prog), admin(prog);
+    app.includeFunction(f1);
+    app.includeFunction(f2);
+    admin.includeFunction(f2); // admin policy allows only f2
+    app.intersectWith(admin);
+    EXPECT_FALSE(app.containsFunction(f1));
+    EXPECT_TRUE(app.containsFunction(f2));
+    EXPECT_FALSE(app.contains(prog.func(f1).instAddr(0)));
+}
+
+TEST_F(IsvFixture, UnionMergesProfiles)
+{
+    IsvView a(prog), b(prog);
+    a.includeFunction(f1);
+    b.includeFunction(f2);
+    a.unionWith(b);
+    EXPECT_TRUE(a.containsFunction(f1));
+    EXPECT_TRUE(a.containsFunction(f2));
+    EXPECT_EQ(a.numFunctions(), 2u);
+}
+
+TEST_F(IsvFixture, IntersectWithEmptyClearsEverything)
+{
+    IsvView app(prog), empty(prog);
+    app.includeFunction(f1);
+    app.includeFunction(f2);
+    app.intersectWith(empty);
+    EXPECT_EQ(app.numFunctions(), 0u);
+}

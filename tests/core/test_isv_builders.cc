@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "core/isv_builders.hh"
+#include "kernel/interp.hh"
+#include "kernel/kstate.hh"
+#include "kernel/syscall_exec.hh"
+#include "workloads/driver.hh"
+#include "workloads/profiles.hh"
+
+using namespace perspective;
+using namespace perspective::core;
+using namespace perspective::kernel;
+using perspective::sim::FuncId;
+
+namespace
+{
+
+/** One shared, laid-out stack for all builder tests. */
+struct Stack
+{
+    sim::Memory mem;
+    KernelImage img{mem};
+    workloads::DriverSet drivers{img};
+    Stack() { img.program().layout(); }
+};
+
+Stack &
+stack()
+{
+    static Stack s;
+    return s;
+}
+
+} // namespace
+
+TEST(StaticIsv, BinaryAnalysisRecoversSyscallSet)
+{
+    auto &s = stack();
+    StaticIsvBuilder b(s.img);
+    // A "binary" using only the read and getpid drivers.
+    std::vector<FuncId> binary = {
+        s.drivers.driverFor(Sys::Read),
+        s.drivers.driverFor(Sys::Getpid),
+    };
+    auto sys = b.syscallsOfBinary(binary);
+    EXPECT_EQ(sys.size(), 2u);
+    EXPECT_TRUE(sys.count(Sys::Read));
+    EXPECT_TRUE(sys.count(Sys::Getpid));
+}
+
+TEST(StaticIsv, ClosureIncludesTransitiveCallees)
+{
+    auto &s = stack();
+    StaticIsvBuilder b(s.img);
+    FuncId entry = s.img.entryOf(Sys::Getpid);
+    auto cl = b.closure({entry});
+    EXPECT_TRUE(cl.count(entry));
+    // Direct callees and their callees are in.
+    for (FuncId c : s.img.info(entry).callees) {
+        EXPECT_TRUE(cl.count(c));
+        for (FuncId cc : s.img.info(c).callees)
+            EXPECT_TRUE(cl.count(cc));
+    }
+}
+
+TEST(StaticIsv, IndirectTargetsExcluded)
+{
+    // The defining limitation of static analysis (Section 5.3): the
+    // fs impl reachable only through the fops pointer is NOT in the
+    // static view, even for an app that uses read().
+    auto &s = stack();
+    StaticIsvBuilder b(s.img);
+    IsvView v = b.build({Sys::Read});
+    auto [disp, idx] = s.img.vfsReadDispatch();
+    (void)idx;
+    EXPECT_TRUE(v.containsFunction(disp));
+    FuncId target = s.img.info(disp).indirectTargets[0];
+    EXPECT_FALSE(v.containsFunction(target));
+}
+
+TEST(StaticIsv, ViewGrowsWithSyscallSet)
+{
+    auto &s = stack();
+    StaticIsvBuilder b(s.img);
+    IsvView small = b.build({Sys::Getpid});
+    IsvView large = b.build({Sys::Getpid, Sys::Read, Sys::Send,
+                             Sys::Mmap, Sys::Poll});
+    EXPECT_GT(large.numFunctions(), small.numFunctions());
+    EXPECT_LT(large.numFunctions(),
+              s.img.numKernelFunctions() / 4);
+}
+
+TEST(DynamicIsv, TracedRunIncludesIndirectTargets)
+{
+    auto &s = stack();
+    KernelState ks(s.mem);
+    Pid pid = ks.createProcess(ks.createCgroup("t"));
+    SyscallExecutor exec(ks, s.img);
+
+    DynamicIsvBuilder b(s.img);
+    SyscallInvocation inv{Sys::Read, 0, 8, 0};
+    auto prep = exec.prepare(pid, inv);
+    Interpreter in(s.img.program(), s.mem);
+    for (auto [r, v] : prep.regs)
+        in.setReg(r, v);
+    in.run(s.img.entryOf(Sys::Read), 500'000,
+           [&](FuncId f) { b.observe(f); });
+    exec.finish(pid, inv);
+
+    IsvView v = b.build();
+    auto [disp, idx] = s.img.vfsReadDispatch();
+    (void)idx;
+    FuncId target = s.img.info(disp).indirectTargets[0];
+    EXPECT_TRUE(v.containsFunction(target))
+        << "dynamic tracing must capture indirect-call targets";
+}
+
+TEST(DynamicIsv, DynamicSmallerThanStatic)
+{
+    auto &s = stack();
+    KernelState ks(s.mem);
+    Pid pid = ks.createProcess(ks.createCgroup("t"));
+    SyscallExecutor exec(ks, s.img);
+
+    DynamicIsvBuilder db(s.img);
+    for (Sys sys : {Sys::Read, Sys::Getpid, Sys::Poll}) {
+        SyscallInvocation inv{sys, 0, 8, 0};
+        auto prep = exec.prepare(pid, inv);
+        Interpreter in(s.img.program(), s.mem);
+        for (auto [r, v] : prep.regs)
+            in.setReg(r, v);
+        in.run(s.img.entryOf(sys), 500'000,
+               [&](FuncId f) { db.observe(f); });
+        exec.finish(pid, inv);
+    }
+    IsvView dynamic = db.build();
+    StaticIsvBuilder sb(s.img);
+    IsvView stat = sb.build({Sys::Read, Sys::Getpid, Sys::Poll});
+    EXPECT_LT(dynamic.numFunctions(), stat.numFunctions());
+}
+
+TEST(Audit, ApplyAuditExcludesVulnerable)
+{
+    auto &s = stack();
+    StaticIsvBuilder b(s.img);
+    IsvView v = b.build({Sys::Ioctl});
+    FuncId gadget = s.img.pocDriverGadget();
+    // The ioctl driver gadget is reachable only via indirect dispatch
+    // so it is not in the *static* view; use a function that is.
+    FuncId entry = s.img.entryOf(Sys::Ioctl);
+    ASSERT_TRUE(v.containsFunction(entry));
+    applyAudit(v, {entry, gadget});
+    EXPECT_FALSE(v.containsFunction(entry));
+    EXPECT_FALSE(v.containsFunction(gadget));
+}

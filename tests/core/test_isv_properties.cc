@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Property sweep over IsvView: arbitrary include/exclude sequences
+ * must keep the instruction bitmap exactly consistent with the
+ * function set, with monotone epochs, for programs of varied shape.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/isv.hh"
+#include "sim/program.hh"
+
+using namespace perspective::core;
+using namespace perspective::sim;
+
+namespace
+{
+
+struct IsvProperty : ::testing::TestWithParam<std::uint64_t>
+{
+    std::uint64_t state_ = GetParam() * 911 + 5;
+
+    std::uint64_t
+    rnd(std::uint64_t bound)
+    {
+        state_ += 0x9e3779b97f4a7c15ull;
+        std::uint64_t z = state_;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        z ^= z >> 31;
+        return bound ? z % bound : z;
+    }
+};
+
+} // namespace
+
+TEST_P(IsvProperty, BitmapAlwaysMatchesFunctionSet)
+{
+    Program prog;
+    unsigned nfuncs = 20 + static_cast<unsigned>(rnd(30));
+    for (unsigned f = 0; f < nfuncs; ++f) {
+        FuncId id = prog.addFunction("k" + std::to_string(f), true);
+        auto &body = prog.func(id).body;
+        body.assign(1 + rnd(40), nop());
+        body.push_back(ret());
+    }
+    prog.layout();
+
+    IsvView view(prog);
+    std::set<FuncId> model;
+    std::uint64_t last_epoch = view.epoch();
+
+    for (unsigned step = 0; step < 300; ++step) {
+        FuncId f = static_cast<FuncId>(rnd(nfuncs));
+        bool mutated;
+        if (rnd(2)) {
+            mutated = model.insert(f).second;
+            view.includeFunction(f);
+        } else {
+            mutated = model.erase(f) > 0;
+            view.excludeFunction(f);
+        }
+        if (mutated) {
+            ASSERT_GT(view.epoch(), last_epoch);
+            last_epoch = view.epoch();
+        } else {
+            ASSERT_EQ(view.epoch(), last_epoch);
+        }
+        ASSERT_EQ(view.numFunctions(), model.size());
+    }
+
+    // Exhaustive bitmap check against the model.
+    for (unsigned f = 0; f < nfuncs; ++f) {
+        const Function &fn = prog.func(static_cast<FuncId>(f));
+        bool in = model.count(static_cast<FuncId>(f)) > 0;
+        ASSERT_EQ(view.containsFunction(static_cast<FuncId>(f)), in);
+        for (std::uint32_t i = 0; i < fn.body.size(); ++i)
+            ASSERT_EQ(view.contains(fn.instAddr(i)), in)
+                << fn.name << "[" << i << "]";
+    }
+
+    // Region bits agree with contains() everywhere.
+    for (unsigned probe = 0; probe < 40; ++probe) {
+        FuncId f = static_cast<FuncId>(rnd(nfuncs));
+        const Function &fn = prog.func(f);
+        Addr pc = fn.instAddr(
+            static_cast<std::uint32_t>(rnd(fn.body.size())));
+        auto bits = view.regionBits(pc, 512);
+        Addr base = pc & ~Addr{511};
+        for (unsigned i = 0; i < 128; ++i) {
+            bool bit = (bits[i / 64] >> (i % 64)) & 1;
+            ASSERT_EQ(bit, view.contains(base + Addr{i} * 4));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IsvProperty,
+                         ::testing::Range<std::uint64_t>(1, 11));

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "core/perspective.hh"
+#include "kernel/ownership.hh"
+#include "sim/program.hh"
+
+using namespace perspective;
+using namespace perspective::core;
+using namespace perspective::sim;
+using kernel::directMapVa;
+using kernel::kDomainReplicated;
+using kernel::OwnershipMap;
+
+namespace
+{
+
+struct PerspFixture : ::testing::Test
+{
+    Program prog;
+    FuncId kf;
+    OwnershipMap own{1024};
+
+    PerspFixture()
+    {
+        kf = prog.addFunction("kfunc", true);
+        prog.func(kf).body = {load(1, 10, 0), ret()};
+        prog.layout();
+    }
+
+    SpecContext
+    ctxFor(Addr pc, Addr data, Asid asid, bool first = true)
+    {
+        SpecContext c;
+        c.pc = pc;
+        c.dataVa = data;
+        c.speculative = true;
+        c.kernelMode = true;
+        c.asid = asid;
+        c.now = 1000;
+        c.firstCheck = first;
+        return c;
+    }
+
+    /**
+     * Drive repeated gate evaluations (advancing time past every
+     * fill) until the verdict is steady — the way a blocked load is
+     * re-evaluated by the pipeline each cycle.
+     */
+    Gate
+    steadyGate(PerspectivePolicy &pol, SpecContext c)
+    {
+        Gate g = Gate::Block;
+        for (int i = 0; i < 5; ++i) {
+            g = pol.gateLoad(c);
+            c.now += 1000;
+            c.firstCheck = true;
+        }
+        return g;
+    }
+};
+
+} // namespace
+
+TEST_F(PerspFixture, NonKernelAndNonSpeculativeAllowed)
+{
+    PerspectivePolicy pol(own);
+    SpecContext c = ctxFor(prog.func(kf).instAddr(0),
+                           directMapVa(5), 1);
+    c.kernelMode = false;
+    EXPECT_EQ(pol.gateLoad(c), Gate::Allow);
+    c.kernelMode = true;
+    c.speculative = false;
+    EXPECT_EQ(pol.gateLoad(c), Gate::Allow);
+}
+
+TEST_F(PerspFixture, UnregisteredContextBlocks)
+{
+    PerspectivePolicy pol(own);
+    EXPECT_EQ(pol.gateLoad(ctxFor(prog.func(kf).instAddr(0),
+                                  directMapVa(5), 9)),
+              Gate::Block);
+}
+
+TEST_F(PerspFixture, DsvAllowsOwnPageBlocksForeign)
+{
+    PerspectivePolicy pol(own);
+    IsvView view(prog);
+    view.includeFunction(kf);
+    pol.registerContext(1, /*domain=*/3, &view);
+    own.assign(5, 3); // own page
+    own.assign(6, 4); // foreign page
+
+    Addr pc = prog.func(kf).instAddr(0);
+    // First checks miss the caches (conservative block + fill), then
+    // the steady verdict reflects DSV membership.
+    EXPECT_EQ(pol.gateLoad(ctxFor(pc, directMapVa(5), 1)),
+              Gate::Block);
+    EXPECT_EQ(steadyGate(pol, ctxFor(pc, directMapVa(5), 1)),
+              Gate::Allow);
+    EXPECT_EQ(steadyGate(pol, ctxFor(pc, directMapVa(6), 1)),
+              Gate::Block);
+}
+
+TEST_F(PerspFixture, UnknownMemoryAlwaysBlocks)
+{
+    PerspectivePolicy pol(own);
+    IsvView view(prog);
+    view.includeFunction(kf);
+    pol.registerContext(1, 3, &view);
+    Addr pc = prog.func(kf).instAddr(0);
+    EXPECT_EQ(steadyGate(pol, ctxFor(pc, directMapVa(7), 1)),
+              Gate::Block);
+}
+
+TEST_F(PerspFixture, UnknownAllowedWhenToggledOff)
+{
+    PerspectiveConfig cfg;
+    cfg.blockUnknown = false; // Section 9.2 sensitivity knob
+    PerspectivePolicy pol(own, cfg);
+    IsvView view(prog);
+    view.includeFunction(kf);
+    pol.registerContext(1, 3, &view);
+    Addr pc = prog.func(kf).instAddr(0);
+    EXPECT_EQ(steadyGate(pol, ctxFor(pc, directMapVa(7), 1)),
+              Gate::Allow);
+}
+
+TEST_F(PerspFixture, ReplicatedRodataInEveryDsv)
+{
+    PerspectivePolicy pol(own);
+    IsvView view(prog);
+    view.includeFunction(kf);
+    pol.registerContext(1, 3, &view);
+    own.assign(8, kDomainReplicated);
+    Addr pc = prog.func(kf).instAddr(0);
+    EXPECT_EQ(steadyGate(pol, ctxFor(pc, directMapVa(8), 1)),
+              Gate::Allow);
+}
+
+TEST_F(PerspFixture, IsvBlocksInstructionOutsideView)
+{
+    PerspectivePolicy pol(own);
+    IsvView view(prog); // empty: kf not included
+    pol.registerContext(1, 3, &view);
+    own.assign(5, 3);
+    Addr pc = prog.func(kf).instAddr(0);
+    EXPECT_EQ(steadyGate(pol, ctxFor(pc, directMapVa(5), 1)),
+              Gate::Block);
+}
+
+TEST_F(PerspFixture, OwnershipChangeInvalidatesDsvCache)
+{
+    PerspectivePolicy pol(own);
+    IsvView view(prog);
+    view.includeFunction(kf);
+    pol.registerContext(1, 3, &view);
+    own.assign(5, 3);
+    Addr pc = prog.func(kf).instAddr(0);
+    ASSERT_EQ(steadyGate(pol, ctxFor(pc, directMapVa(5), 1)),
+              Gate::Allow);
+
+    // Page reassigned to another tenant: the cached positive entry
+    // must not keep allowing access.
+    own.assign(5, 4);
+    EXPECT_EQ(steadyGate(pol, ctxFor(pc, directMapVa(5), 1)),
+              Gate::Block);
+}
+
+TEST_F(PerspFixture, IsvReconfigurationTakesEffect)
+{
+    PerspectivePolicy pol(own);
+    IsvView view(prog);
+    view.includeFunction(kf);
+    pol.registerContext(1, 3, &view);
+    own.assign(5, 3);
+    Addr pc = prog.func(kf).instAddr(0);
+    ASSERT_EQ(steadyGate(pol, ctxFor(pc, directMapVa(5), 1)),
+              Gate::Allow);
+
+    // Swift patching: exclude the (now-vulnerable) function.
+    view.excludeFunction(kf);
+    EXPECT_EQ(steadyGate(pol, ctxFor(pc, directMapVa(5), 1)),
+              Gate::Block);
+}
+
+TEST_F(PerspFixture, DsvmtMirrorsOwnership)
+{
+    PerspectivePolicy pol(own);
+    IsvView view(prog);
+    view.includeFunction(kf);
+    pol.registerContext(1, 3, &view);
+    own.assign(5, 3);
+    own.assign(6, 4);
+    EXPECT_TRUE(pol.dsvmtOf(3).queryPfn(5));
+    EXPECT_FALSE(pol.dsvmtOf(3).queryPfn(6));
+}

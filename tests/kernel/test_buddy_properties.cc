@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Property sweep over the buddy allocator: random alloc/free
+ * interleavings at mixed orders must preserve the core invariants —
+ * no frame is handed out twice, ownership reflects liveness exactly,
+ * and a fully-freed allocator coalesces back to max-order blocks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "kernel/buddy.hh"
+
+using namespace perspective::kernel;
+
+namespace
+{
+
+struct BuddyProperty : ::testing::TestWithParam<std::uint64_t>
+{
+    std::uint64_t state_ = GetParam() * 2654435761u + 17;
+
+    std::uint64_t
+    rnd(std::uint64_t bound)
+    {
+        state_ += 0x9e3779b97f4a7c15ull;
+        std::uint64_t z = state_;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        z ^= z >> 31;
+        return bound ? z % bound : z;
+    }
+};
+
+} // namespace
+
+TEST_P(BuddyProperty, RandomInterleavingPreservesInvariants)
+{
+    constexpr std::uint64_t kFrames = 2048;
+    OwnershipMap own(4096);
+    BuddyAllocator buddy(own, 256, kFrames);
+
+    struct Block
+    {
+        Pfn pfn;
+        unsigned order;
+        DomainId domain;
+    };
+    std::vector<Block> live;
+    std::map<Pfn, unsigned> frame_owner; // -> index sanity
+
+    for (unsigned step = 0; step < 600; ++step) {
+        bool do_alloc = live.empty() || rnd(100) < 60;
+        if (do_alloc) {
+            unsigned order = static_cast<unsigned>(rnd(4));
+            DomainId dom = static_cast<DomainId>(2 + rnd(5));
+            auto pfn = buddy.allocPages(order, dom);
+            if (!pfn)
+                continue; // full — fine
+            // No overlap with any live block.
+            for (std::uint64_t i = 0; i < (1ull << order); ++i) {
+                auto [it, fresh] =
+                    frame_owner.emplace(*pfn + i, step);
+                ASSERT_TRUE(fresh)
+                    << "frame " << *pfn + i << " double-allocated";
+                ASSERT_EQ(own.ownerOf(*pfn + i), dom);
+            }
+            live.push_back({*pfn, order, dom});
+        } else {
+            std::size_t victim = rnd(live.size());
+            Block b = live[victim];
+            live[victim] = live.back();
+            live.pop_back();
+            buddy.freePages(b.pfn, b.order);
+            for (std::uint64_t i = 0; i < (1ull << b.order); ++i) {
+                frame_owner.erase(b.pfn + i);
+                ASSERT_EQ(own.ownerOf(b.pfn + i), kDomainUnknown);
+            }
+        }
+        // Global accounting.
+        std::uint64_t live_frames = 0;
+        for (const auto &b : live)
+            live_frames += 1ull << b.order;
+        ASSERT_EQ(buddy.allocatedFrames(), live_frames);
+    }
+
+    // Drain and verify full coalescing: a max-order alloc succeeds.
+    for (const auto &b : live)
+        buddy.freePages(b.pfn, b.order);
+    EXPECT_EQ(buddy.allocatedFrames(), 0u);
+    unsigned max_blocks = 0;
+    while (buddy.allocPages(BuddyAllocator::kMaxOrder, 2))
+        ++max_blocks;
+    EXPECT_EQ(max_blocks, kFrames >> BuddyAllocator::kMaxOrder);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BuddyProperty,
+                         ::testing::Range<std::uint64_t>(1, 13));

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "kernel/interp.hh"
+#include "sim/program.hh"
+
+using namespace perspective::kernel;
+using namespace perspective::sim;
+
+TEST(Interp, ArithmeticAndMemory)
+{
+    Program prog;
+    FuncId f = prog.addFunction("main", true);
+    prog.func(f).body = {
+        movImm(1, 21),
+        shlImm(2, 1, 1),
+        movImm(3, 0x9000),
+        store(3, 0, 2),
+        load(4, 3, 0),
+        ret(),
+    };
+    prog.layout();
+    Memory mem;
+    Interpreter in(prog, mem);
+    auto r = in.run(f);
+    EXPECT_TRUE(r.completed);
+    EXPECT_EQ(in.regValue(4), 42u);
+    EXPECT_EQ(mem.read(0x9000), 42u);
+}
+
+TEST(Interp, BranchesAndLoops)
+{
+    Program prog;
+    FuncId f = prog.addFunction("main", true);
+    prog.func(f).body = {
+        movImm(1, 0),
+        movImm(2, 0),
+        branchImm(Cond::Ge, 1, 5, 6),
+        add(2, 2, 1),
+        addImm(1, 1, 1),
+        jump(2),
+        ret(),
+    };
+    prog.layout();
+    Memory mem;
+    Interpreter in(prog, mem);
+    in.run(f);
+    EXPECT_EQ(in.regValue(2), 10u); // 0+1+2+3+4
+}
+
+TEST(Interp, IndirectCallThroughMemory)
+{
+    Program prog;
+    FuncId callee = prog.addFunction("callee", true);
+    FuncId f = prog.addFunction("main", true);
+    prog.func(callee).body = {movImm(5, 77), ret()};
+    prog.func(f).body = {
+        loadAbs(1, 0xa000),
+        indirectCall(1),
+        ret(),
+    };
+    prog.layout();
+    Memory mem;
+    mem.write(0xa000, callee);
+    Interpreter in(prog, mem);
+    auto r = in.run(f);
+    EXPECT_TRUE(r.completed);
+    EXPECT_EQ(in.regValue(5), 77u);
+}
+
+TEST(Interp, OnFuncVisitorSeesCallChain)
+{
+    Program prog;
+    FuncId leaf = prog.addFunction("leaf", true);
+    FuncId mid = prog.addFunction("mid", true);
+    FuncId top = prog.addFunction("top", true);
+    prog.func(leaf).body = {ret()};
+    prog.func(mid).body = {call(leaf), ret()};
+    prog.func(top).body = {call(mid), ret()};
+    prog.layout();
+    Memory mem;
+    Interpreter in(prog, mem);
+    std::vector<FuncId> seen;
+    in.run(top, 1000, [&](FuncId f) { seen.push_back(f); });
+    ASSERT_EQ(seen.size(), 3u);
+    EXPECT_EQ(seen[0], top);
+    EXPECT_EQ(seen[1], mid);
+    EXPECT_EQ(seen[2], leaf);
+}
+
+TEST(Interp, DryStoresLeaveMemoryUntouched)
+{
+    Program prog;
+    FuncId f = prog.addFunction("main", true);
+    prog.func(f).body = {
+        movImm(1, 0xb000),
+        movImm(2, 5),
+        store(1, 0, 2),
+        ret(),
+    };
+    prog.layout();
+    Memory mem;
+    Interpreter in(prog, mem);
+    in.setDryStores(true);
+    in.run(f);
+    EXPECT_EQ(mem.read(0xb000), 0u);
+}
+
+TEST(Interp, BudgetExhaustionReportsIncomplete)
+{
+    Program prog;
+    FuncId f = prog.addFunction("main", true);
+    prog.func(f).body = {jump(0)};
+    prog.layout();
+    Memory mem;
+    Interpreter in(prog, mem);
+    auto r = in.run(f, 100);
+    EXPECT_FALSE(r.completed);
+    EXPECT_EQ(r.uops, 100u);
+}
+
+TEST(Interp, WildIndirectTargetIsSkipped)
+{
+    Program prog;
+    FuncId f = prog.addFunction("main", true);
+    prog.func(f).body = {
+        movImm(1, 0x7fffffff), // not a function id
+        indirectCall(1),
+        movImm(2, 1),
+        ret(),
+    };
+    prog.layout();
+    Memory mem;
+    Interpreter in(prog, mem);
+    auto r = in.run(f);
+    EXPECT_TRUE(r.completed);
+    EXPECT_EQ(in.regValue(2), 1u);
+}

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "kernel/kstate.hh"
+
+using namespace perspective::kernel;
+
+namespace
+{
+
+struct KsFixture : ::testing::Test
+{
+    perspective::sim::Memory mem;
+    KernelState ks{mem};
+};
+
+} // namespace
+
+TEST_F(KsFixture, ProcessResourcesOwnedByItsDomain)
+{
+    CgroupId cg = ks.createCgroup("tenant-a");
+    Pid pid = ks.createProcess(cg);
+    const Task &t = ks.task(pid);
+    EXPECT_EQ(ks.ownership().ownerOfVa(t.ctxVa), t.domain);
+    EXPECT_EQ(ks.ownership().ownerOf(t.stackPfn), t.domain);
+    for (auto [va, cls] : t.slabObjects) {
+        (void)cls;
+        EXPECT_EQ(ks.ownership().ownerOfVa(va), t.domain);
+    }
+}
+
+TEST_F(KsFixture, DistinctCgroupsGetDistinctDomains)
+{
+    CgroupId a = ks.createCgroup("a");
+    CgroupId b = ks.createCgroup("b");
+    Pid pa = ks.createProcess(a);
+    Pid pb = ks.createProcess(b);
+    EXPECT_NE(ks.domainOf(pa), ks.domainOf(pb));
+}
+
+TEST_F(KsFixture, SameCgroupSharesDomain)
+{
+    CgroupId a = ks.createCgroup("a");
+    Pid p1 = ks.createProcess(a);
+    Pid p2 = ks.createProcess(a);
+    EXPECT_EQ(ks.domainOf(p1), ks.domainOf(p2));
+}
+
+TEST_F(KsFixture, ExitReleasesEverything)
+{
+    CgroupId cg = ks.createCgroup("t");
+    std::uint64_t before = ks.buddy().allocatedFrames();
+    Pid pid = ks.createProcess(cg);
+    Pfn ctx = ks.task(pid).ctxPfn;
+    ks.exitProcess(pid);
+    EXPECT_EQ(ks.buddy().allocatedFrames(), before);
+    EXPECT_EQ(ks.ownership().ownerOf(ctx), kDomainUnknown);
+    EXPECT_THROW(ks.task(pid), std::runtime_error);
+}
+
+TEST_F(KsFixture, KmallocChargesDomain)
+{
+    CgroupId cg = ks.createCgroup("t");
+    Pid pid = ks.createProcess(cg);
+    Addr va = ks.kmalloc(100, ks.domainOf(pid));
+    EXPECT_EQ(ks.ownership().ownerOfVa(va), ks.domainOf(pid));
+    EXPECT_EQ(ks.cacheFor(100).objectSize(), 128u);
+    ks.kfree(va, 100);
+}
+
+TEST_F(KsFixture, UserPageGoesIntoTaskDsv)
+{
+    CgroupId cg = ks.createCgroup("t");
+    Pid pid = ks.createProcess(cg);
+    auto pfn = ks.allocUserPage(pid);
+    ASSERT_TRUE(pfn.has_value());
+    EXPECT_EQ(ks.ownership().ownerOf(*pfn), ks.domainOf(pid));
+    ks.freeUserPage(pid, *pfn);
+    EXPECT_EQ(ks.ownership().ownerOf(*pfn), kDomainUnknown);
+}
+
+TEST_F(KsFixture, BootRegionsHaveExpectedDomains)
+{
+    EXPECT_EQ(ks.ownership().ownerOf(0), kDomainUnknown);  // globals
+    EXPECT_EQ(ks.ownership().ownerOf(64), kDomainUnknown); // per-cpu
+    EXPECT_EQ(ks.ownership().ownerOf(72), kDomainReplicated);
+}
+
+TEST_F(KsFixture, GlobalVaIsStable)
+{
+    EXPECT_EQ(ks.globalVa(0), bootGlobalVa(0));
+    EXPECT_EQ(ks.globalVa(5) - ks.globalVa(4), 256u);
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Property sweep over the slab allocator (both modes): random
+ * alloc/free interleavings across domains and object sizes must
+ * preserve: distinct live objects, accurate utilization accounting,
+ * the secure-mode isolation invariant (no page ever holds two
+ * domains' objects), and full page return on drain.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "kernel/slab.hh"
+
+using namespace perspective::kernel;
+namespace sim = perspective::sim;
+
+namespace
+{
+
+struct SlabProperty
+    : ::testing::TestWithParam<std::tuple<std::uint64_t, bool,
+                                          std::uint32_t>>
+{
+    std::uint64_t state_ = std::get<0>(GetParam()) * 77 + 3;
+
+    std::uint64_t
+    rnd(std::uint64_t bound)
+    {
+        state_ += 0x9e3779b97f4a7c15ull;
+        std::uint64_t z = state_;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        z ^= z >> 31;
+        return bound ? z % bound : z;
+    }
+};
+
+} // namespace
+
+TEST_P(SlabProperty, RandomChurnKeepsInvariants)
+{
+    auto [seed, secure, objsize] = GetParam();
+    (void)seed;
+    OwnershipMap own(8192);
+    BuddyAllocator buddy(own, 256, 4096);
+    SlabCache cache("prop", objsize, buddy, secure);
+
+    std::map<sim::Addr, DomainId> live;
+    for (unsigned step = 0; step < 800; ++step) {
+        if (live.empty() || rnd(100) < 58) {
+            DomainId dom = static_cast<DomainId>(2 + rnd(4));
+            sim::Addr va = cache.alloc(dom);
+            ASSERT_NE(va, 0u);
+            ASSERT_EQ(live.count(va), 0u) << "address reused while "
+                                             "live";
+            live[va] = dom;
+        } else {
+            auto it = live.begin();
+            std::advance(it, rnd(live.size()));
+            cache.free(it->first);
+            live.erase(it);
+        }
+        ASSERT_EQ(cache.activeObjects(), live.size());
+
+        if (secure) {
+            // Isolation invariant: all live objects within one page
+            // belong to one domain, and the page's ownership matches.
+            std::map<Pfn, DomainId> page_domain;
+            for (auto &[va, dom] : live) {
+                Pfn pfn = directMapPfn(va);
+                auto [it2, fresh] = page_domain.emplace(pfn, dom);
+                ASSERT_EQ(it2->second, dom)
+                    << "two domains share page " << pfn;
+                ASSERT_EQ(own.ownerOf(pfn), dom);
+            }
+        }
+    }
+
+    // Drain: every page must go back to the buddy allocator.
+    for (auto &[va, dom] : live)
+        cache.free(va);
+    EXPECT_EQ(cache.activeObjects(), 0u);
+    EXPECT_EQ(cache.pagesInUse(), 0u);
+    EXPECT_EQ(buddy.allocatedFrames(), 0u);
+    EXPECT_EQ(cache.totalAllocs(), cache.totalFrees());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, SlabProperty,
+    ::testing::Combine(::testing::Values<std::uint64_t>(1, 2, 3),
+                       ::testing::Bool(),
+                       ::testing::Values<std::uint32_t>(8, 64, 256,
+                                                        1024)));

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Parameterized property sweeps over cache geometries: containment,
+ * LRU, capacity, and flush invariants must hold for every (size,
+ * associativity) combination.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "sim/cache.hh"
+
+using namespace perspective::sim;
+
+namespace
+{
+
+struct CacheGeometry
+    : ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{
+    CacheParams
+    params() const
+    {
+        auto [size_kb, assoc] = GetParam();
+        return {"p", size_kb * 1024, 64, assoc, 2};
+    }
+};
+
+} // namespace
+
+TEST_P(CacheGeometry, FillThenProbeAlwaysHits)
+{
+    Cache c(params());
+    for (Addr a = 0; a < 64 * 1024; a += 4096) {
+        c.fill(a);
+        EXPECT_TRUE(c.probe(a)) << a;
+    }
+}
+
+TEST_P(CacheGeometry, CapacityIsRespected)
+{
+    CacheParams p = params();
+    Cache c(p);
+    unsigned lines = p.size_bytes / p.line_bytes;
+    // Fill twice the capacity with distinct lines...
+    for (unsigned i = 0; i < 2 * lines; ++i)
+        c.fill(Addr{i} * p.line_bytes);
+    // ...then at most `lines` of them can be resident.
+    unsigned resident = 0;
+    for (unsigned i = 0; i < 2 * lines; ++i) {
+        if (c.probe(Addr{i} * p.line_bytes))
+            ++resident;
+    }
+    EXPECT_LE(resident, lines);
+    EXPECT_GT(resident, lines / 2); // and not pathologically few
+}
+
+TEST_P(CacheGeometry, MostRecentLineSurvivesConflictPressure)
+{
+    CacheParams p = params();
+    Cache c(p);
+    unsigned sets = p.size_bytes / (p.line_bytes * p.assoc);
+    Addr way_stride = Addr{sets} * p.line_bytes;
+    // Touch assoc+2 conflicting lines; the most recent must survive.
+    Addr last = 0;
+    for (unsigned w = 0; w < p.assoc + 2; ++w) {
+        last = Addr{w} * way_stride;
+        c.fill(last);
+    }
+    EXPECT_TRUE(c.probe(last));
+}
+
+TEST_P(CacheGeometry, FlushAllEmptiesEverything)
+{
+    CacheParams p = params();
+    Cache c(p);
+    for (unsigned i = 0; i < 128; ++i)
+        c.fill(Addr{i} * p.line_bytes);
+    c.flushAll();
+    for (unsigned i = 0; i < 128; ++i)
+        EXPECT_FALSE(c.probe(Addr{i} * p.line_bytes));
+}
+
+TEST_P(CacheGeometry, AccessCountsAreConsistent)
+{
+    Cache c(params());
+    std::uint64_t expected_hits = 0, expected_misses = 0;
+    for (unsigned round = 0; round < 3; ++round) {
+        for (unsigned i = 0; i < 8; ++i) {
+            Addr a = Addr{i} * 64;
+            bool hit = c.probe(a); // ground truth before access
+            if (c.access(a)) {
+                EXPECT_TRUE(hit);
+                ++expected_hits;
+            } else {
+                EXPECT_FALSE(hit);
+                ++expected_misses;
+                c.fill(a);
+            }
+        }
+    }
+    EXPECT_EQ(c.hits(), expected_hits);
+    EXPECT_EQ(c.misses(), expected_misses);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometry,
+    ::testing::Combine(::testing::Values(4u, 8u, 32u, 64u),
+                       ::testing::Values(1u, 2u, 4u, 8u)));

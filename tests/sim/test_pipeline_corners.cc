@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Pipeline corner cases: squash interactions with blocked loads,
+ * nested mispredictions, store-to-load forwarding across speculation,
+ * RSB state across squashes, and deep recursion.
+ */
+
+#include <gtest/gtest.h>
+
+#include "defenses/schemes.hh"
+#include "sim/memory.hh"
+#include "sim/pipeline.hh"
+#include "sim/program.hh"
+
+using namespace perspective::sim;
+using namespace perspective::defenses;
+
+namespace
+{
+
+struct Machine
+{
+    Program prog;
+    Memory mem;
+};
+
+} // namespace
+
+TEST(PipelineCorners, BlockedLoadOnWrongPathIsSquashedCleanly)
+{
+    // A FENCE-blocked load sits on the wrong path of a mispredicted
+    // branch; the squash must not wedge the pipeline or corrupt
+    // later runs.
+    Machine m;
+    Addr flag = 0x10000;
+    m.mem.write(flag, 1);
+    FuncId f = m.prog.addFunction("main", false);
+    m.prog.func(f).body = {
+        loadAbs(1, flag),
+        branchImm(Cond::Eq, 1, 1, 5), // taken once resolved
+        loadAbs(2, 0x20000),          // wrong path: blocked by FENCE
+        loadAbs(3, 0x20040),
+        jump(6),
+        movImm(4, 7), // 5: correct path
+        ret(),        // 6
+    };
+    m.prog.layout();
+    Pipeline cpu(m.prog, m.mem);
+    FencePolicy fence;
+    cpu.setPolicy(&fence);
+    for (int i = 0; i < 4; ++i) {
+        auto r = cpu.run(f);
+        EXPECT_GT(r.instructions, 0u);
+        EXPECT_EQ(cpu.regValue(4), 7u);
+    }
+}
+
+TEST(PipelineCorners, NestedMispredictionsResolveOutsideIn)
+{
+    // Two data-dependent branches whose outcomes flip between runs;
+    // architectural results must stay exact.
+    Machine m;
+    Addr a = 0x11000, b = 0x12000;
+    FuncId f = m.prog.addFunction("main", false);
+    m.prog.func(f).body = {
+        loadAbs(1, a),
+        loadAbs(2, b),
+        movImm(3, 0),
+        branchImm(Cond::Eq, 1, 1, 6), // on a==1
+        addImm(3, 3, 1),              // skipped when taken
+        nop(),
+        branchImm(Cond::Eq, 2, 1, 9), // 6: on b==1
+        addImm(3, 3, 10),             // skipped when taken
+        nop(),
+        ret(), // 9
+    };
+    m.prog.layout();
+    Pipeline cpu(m.prog, m.mem);
+    for (unsigned av = 0; av < 2; ++av) {
+        for (unsigned bv = 0; bv < 2; ++bv) {
+            m.mem.write(a, av);
+            m.mem.write(b, bv);
+            cpu.run(f);
+            unsigned expect =
+                (av == 1 ? 0 : 1) + (bv == 1 ? 0 : 10);
+            EXPECT_EQ(cpu.regValue(3), expect)
+                << "a=" << av << " b=" << bv;
+        }
+    }
+}
+
+TEST(PipelineCorners, StoreToLoadForwardingExactAddressMatch)
+{
+    Machine m;
+    FuncId f = m.prog.addFunction("main", false);
+    Addr addr = 0x13000;
+    m.prog.func(f).body = {
+        movImm(1, 0xaa),
+        movImm(2, static_cast<std::int64_t>(addr)),
+        store(2, 0, 1),
+        load(3, 2, 0),  // forwards 0xaa
+        load(4, 2, 8),  // different address: memory value (0)
+        ret(),
+    };
+    m.prog.layout();
+    Pipeline cpu(m.prog, m.mem);
+    cpu.run(f);
+    EXPECT_EQ(cpu.regValue(3), 0xaau);
+    EXPECT_EQ(cpu.regValue(4), 0u);
+}
+
+TEST(PipelineCorners, DeepRecursionBeyondRsbStillCorrect)
+{
+    // 24-deep self-recursion overflows the 16-entry RSB; underflow
+    // predictions may misfire but architectural state must be exact.
+    Machine m;
+    FuncId f = m.prog.addFunction("rec", false);
+    m.prog.func(f).body = {
+        branchImm(Cond::Eq, 1, 0, 4),
+        addImm(1, 1, -1),
+        addImm(2, 2, 1),
+        call(f),
+        ret(), // 4
+    };
+    m.prog.layout();
+    Pipeline cpu(m.prog, m.mem);
+    cpu.setReg(1, 24);
+    cpu.setReg(2, 0);
+    auto r = cpu.run(f);
+    EXPECT_EQ(cpu.regValue(2), 24u);
+    EXPECT_GT(r.instructions, 24u * 4);
+}
+
+TEST(PipelineCorners, BackToBackRunsDoNotLeakRobState)
+{
+    Machine m;
+    FuncId f = m.prog.addFunction("main", false);
+    m.prog.func(f).body = {
+        movImm(1, 1),
+        loadAbs(2, 0x14000),
+        add(3, 1, 2),
+        ret(),
+    };
+    m.prog.layout();
+    Pipeline cpu(m.prog, m.mem);
+    auto r1 = cpu.run(f);
+    auto r2 = cpu.run(f);
+    EXPECT_EQ(r1.instructions, r2.instructions);
+    EXPECT_EQ(cpu.regValue(3), 1u);
+}
+
+TEST(PipelineCorners, SpotPolicyRetpolineStallsIndirectCalls)
+{
+    Machine m;
+    FuncId t = m.prog.addFunction("t", false);
+    FuncId f = m.prog.addFunction("main", false);
+    m.prog.func(t).body = {movImm(9, 5), ret()};
+    m.prog.func(f).body = {
+        movImm(1, static_cast<std::int64_t>(t)),
+        indirectCall(1),
+        ret(),
+    };
+    m.prog.layout();
+
+    Pipeline fast(m.prog, m.mem);
+    fast.run(f);       // trains the BTB
+    auto r_fast = fast.run(f);
+
+    Pipeline slow(m.prog, m.mem);
+    SpotMitigationPolicy spot(0, true);
+    slow.setPolicy(&spot);
+    slow.run(f);
+    auto r_slow = slow.run(f);
+    EXPECT_GT(r_slow.cycles, r_fast.cycles);
+    EXPECT_EQ(slow.regValue(9), 5u);
+}
+
+TEST(PipelineCorners, ShadowStackPolicyCorrectOnUnderflow)
+{
+    Machine m;
+    FuncId f = m.prog.addFunction("rec", false);
+    m.prog.func(f).body = {
+        branchImm(Cond::Eq, 1, 0, 4),
+        addImm(1, 1, -1),
+        addImm(2, 2, 1),
+        call(f),
+        ret(),
+    };
+    m.prog.layout();
+    Pipeline cpu(m.prog, m.mem);
+    SpecCfiPolicy cfi;
+    cpu.setPolicy(&cfi);
+    cpu.setReg(1, 24);
+    cpu.setReg(2, 0);
+    cpu.run(f);
+    EXPECT_EQ(cpu.regValue(2), 24u);
+}

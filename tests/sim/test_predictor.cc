@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "sim/predictor.hh"
+
+using namespace perspective::sim;
+
+TEST(CondPredictor, LearnsStronglyBiasedBranch)
+{
+    CondPredictor p;
+    Addr pc = 0xffff800000001000;
+    for (int i = 0; i < 16; ++i) {
+        p.update(pc, true, p.history());
+        p.speculate(true);
+    }
+    EXPECT_TRUE(p.predict(pc));
+    for (int i = 0; i < 16; ++i) {
+        p.update(pc, false, p.history());
+        p.speculate(false);
+    }
+    EXPECT_FALSE(p.predict(pc));
+}
+
+TEST(CondPredictor, MistrainingCarriesToNextPrediction)
+{
+    // The Spectre v1 primitive: bias the branch toward not-taken so
+    // that a later out-of-bounds invocation falls through.
+    CondPredictor p;
+    Addr pc = 0xffff800000002000;
+    for (int i = 0; i < 32; ++i) {
+        p.update(pc, false, p.history());
+        p.speculate(false);
+    }
+    EXPECT_FALSE(p.predict(pc));
+}
+
+TEST(CondPredictor, HistoryCheckpointRestore)
+{
+    CondPredictor p;
+    std::uint64_t h0 = p.history();
+    p.speculate(true);
+    p.speculate(false);
+    EXPECT_NE(p.history(), h0);
+    p.restoreHistory(h0);
+    EXPECT_EQ(p.history(), h0);
+}
+
+TEST(Btb, InstallAndPredict)
+{
+    Btb b(64);
+    Addr pc = 0xffff800000003000;
+    EXPECT_EQ(b.predict(pc), kNoFunc);
+    b.update(pc, 42);
+    EXPECT_EQ(b.predict(pc), 42u);
+}
+
+TEST(Btb, PoisonedEntryVisibleToVictim)
+{
+    // No ASID tagging: an entry installed by one context predicts for
+    // another — the Spectre v2 injection vector.
+    Btb b(64);
+    Addr victim_pc = 0xffff800000004000;
+    b.update(victim_pc, 666); // attacker-installed
+    EXPECT_EQ(b.predict(victim_pc), 666u);
+}
+
+TEST(Btb, FlushActsAsIbpb)
+{
+    Btb b(64);
+    b.update(0x1000, 7);
+    b.flush();
+    EXPECT_EQ(b.predict(0x1000), kNoFunc);
+}
+
+TEST(Rsb, PushPopOrder)
+{
+    Rsb r(4);
+    r.push({1, 10});
+    r.push({2, 20});
+    auto t = r.pop();
+    EXPECT_EQ(t.func, 2u);
+    EXPECT_EQ(t.idx, 20u);
+    t = r.pop();
+    EXPECT_EQ(t.func, 1u);
+}
+
+TEST(Rsb, UnderflowReturnsStaleEntry)
+{
+    Rsb r(4);
+    r.push({9, 99});
+    (void)r.pop();
+    // Underflow: the stale slot still predicts — the RSB-underflow
+    // attack primitive.
+    auto t = r.pop();
+    EXPECT_EQ(t.func, 9u);
+}
+
+TEST(Rsb, CheckpointRestore)
+{
+    Rsb r(4);
+    r.push({1, 1});
+    auto ck = r.save();
+    r.push({2, 2});
+    (void)r.pop();
+    (void)r.pop();
+    r.restore(ck);
+    auto t = r.pop();
+    EXPECT_EQ(t.func, 1u);
+}
+
+TEST(Rsb, WrapsAroundCapacity)
+{
+    Rsb r(2);
+    r.push({1, 1});
+    r.push({2, 2});
+    r.push({3, 3}); // overwrites the oldest
+    EXPECT_EQ(r.pop().func, 3u);
+    EXPECT_EQ(r.pop().func, 2u);
+    // Third pop underflows into stale state.
+    EXPECT_EQ(r.depth(), 0u);
+}

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "sim/program.hh"
+
+using namespace perspective::sim;
+
+namespace
+{
+
+Program
+twoFunctionProgram()
+{
+    Program p;
+    FuncId k = p.addFunction("kfunc", true);
+    FuncId u = p.addFunction("ufunc", false);
+    p.func(k).body = {nop(), nop(), ret()};
+    p.func(u).body = {nop(), ret()};
+    p.layout();
+    return p;
+}
+
+} // namespace
+
+TEST(Program, LayoutSeparatesKernelAndUser)
+{
+    Program p = twoFunctionProgram();
+    EXPECT_GE(p.func(0).base, kKernelTextBase);
+    EXPECT_GE(p.func(1).base, kUserBase);
+    EXPECT_LT(p.func(1).base, kKernelTextBase);
+}
+
+TEST(Program, FindByName)
+{
+    Program p = twoFunctionProgram();
+    EXPECT_EQ(p.findByName("kfunc"), 0u);
+    EXPECT_EQ(p.findByName("ufunc"), 1u);
+    EXPECT_EQ(p.findByName("absent"), kNoFunc);
+}
+
+TEST(Program, ResolveRoundTrip)
+{
+    Program p = twoFunctionProgram();
+    for (FuncId f = 0; f < 2; ++f) {
+        for (std::uint32_t i = 0; i < p.func(f).body.size(); ++i) {
+            auto [rf, ri] = p.resolve(p.func(f).instAddr(i));
+            EXPECT_EQ(rf, f);
+            EXPECT_EQ(ri, i);
+        }
+    }
+}
+
+TEST(Program, ResolveUnmappedReturnsNoFunc)
+{
+    Program p = twoFunctionProgram();
+    auto [f, i] = p.resolve(kKernelTextBase - 64);
+    EXPECT_EQ(f, kNoFunc);
+    (void)i;
+}
+
+TEST(Program, TotalOps)
+{
+    Program p = twoFunctionProgram();
+    EXPECT_EQ(p.totalOps(), 5u);
+}
+
+TEST(Program, KernelTextEndCoversAllKernelFunctions)
+{
+    Program p = twoFunctionProgram();
+    const auto &k = p.func(0);
+    EXPECT_GE(p.kernelTextEnd(),
+              k.base + k.body.size() * kInstBytes);
+}
+
+TEST(Program, DisassembleListsEveryOp)
+{
+    Program p = twoFunctionProgram();
+    std::string text = p.disassemble(0);
+    EXPECT_NE(text.find("kfunc"), std::string::npos);
+    EXPECT_NE(text.find("kernel"), std::string::npos);
+    EXPECT_NE(text.find("0: nop"), std::string::npos);
+    EXPECT_NE(text.find("2: ret"), std::string::npos);
+}

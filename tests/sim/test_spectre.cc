@@ -1,0 +1,372 @@
+/**
+ * @file
+ * End-to-end transient-execution attacks on the bare simulator:
+ * Spectre v1 (bounds-check bypass) and Spectre v2 (BTB injection),
+ * each exfiltrating through Flush+Reload, plus checks that the
+ * baseline hardware defenses neutralize them.
+ */
+
+#include <gtest/gtest.h>
+
+#include "defenses/schemes.hh"
+#include "sim/covert.hh"
+#include "sim/memory.hh"
+#include "sim/pipeline.hh"
+#include "sim/program.hh"
+
+using namespace perspective::sim;
+using namespace perspective::defenses;
+
+namespace
+{
+
+constexpr Addr kArray1 = 0x600000;
+constexpr Addr kSizeAddr = 0x610000;
+constexpr Addr kProbeBase = 0x10000000;
+constexpr Addr kFptrAddr = 0x620000;
+constexpr Addr kSecretAddr = 0x630000;
+constexpr unsigned kSecret = 42;
+constexpr std::int64_t kOob = 0x1000; // &secret - &array1 for v1
+
+/** Spectre v1 victim: if (idx < size) y = probe[array1[idx] << 12]. */
+struct V1Machine
+{
+    Program prog;
+    Memory mem;
+    FuncId victim;
+
+    V1Machine()
+    {
+        victim = prog.addFunction("v1_victim", false);
+        prog.func(victim).body = {
+            // r1 = idx (argument)
+            loadAbs(2, kSizeAddr),               // 0: size (flushable)
+            branch(Cond::Ge, 1, 2, 7),           // 1: bounds check
+            addImm(4, 1, kArray1),               // 2
+            load(3, 4, 0),                       // 3: access
+            shlImm(5, 3, 12),                    // 4
+            addImm(6, 5, kProbeBase),            // 5
+            load(7, 6, 0),                       // 6: transmit
+            ret(),                               // 7
+        };
+        prog.layout();
+        mem.write(kSizeAddr, 16);
+        for (int i = 0; i < 16; ++i)
+            mem.write(kArray1 + i, 1);
+        mem.write(kArray1 + kOob, kSecret); // victim's secret
+    }
+
+    /** Run the full attack; returns the recovered symbol (if any). */
+    std::optional<unsigned>
+    attack(SpeculationPolicy *policy)
+    {
+        Pipeline cpu(prog, mem);
+        if (policy)
+            cpu.setPolicy(policy);
+        FlushReload fr(cpu.caches(), kProbeBase);
+
+        // 1. Mistrain the bounds check with in-bounds indices.
+        for (int i = 0; i < 24; ++i) {
+            cpu.setReg(1, i % 16);
+            cpu.run(victim);
+        }
+        // 2. The secret line is warm (victim uses its own data).
+        cpu.caches().accessData(kArray1 + kOob);
+        // 3. Flush the size variable (widens the transient window)
+        //    and prime the probe array.
+        cpu.caches().flush(kSizeAddr);
+        fr.prime();
+        // 4. Out-of-bounds invocation.
+        cpu.setReg(1, kOob);
+        cpu.run(victim);
+        // 5. Reload.
+        return fr.recover();
+    }
+};
+
+/** Spectre v2 victim: fp = *fptr; (*fp)(); with a BTB-injected fp. */
+struct V2Machine
+{
+    Program prog;
+    Memory mem;
+    FuncId victim;
+    FuncId legit;
+    FuncId gadget;
+
+    V2Machine()
+    {
+        legit = prog.addFunction("legit", false);
+        gadget = prog.addFunction("gadget", false);
+        victim = prog.addFunction("v2_victim", false);
+        prog.func(legit).body = {movImm(9, 1), ret()};
+        prog.func(gadget).body = {
+            loadAbs(3, kSecretAddr),
+            shlImm(5, 3, 12),
+            addImm(6, 5, kProbeBase),
+            load(7, 6, 0), // transmit
+            ret(),
+        };
+        prog.func(victim).body = {
+            loadAbs(1, kFptrAddr), // flushable -> wide window
+            indirectCall(1),
+            ret(),
+        };
+        prog.layout();
+        mem.write(kFptrAddr, legit);
+        mem.write(kSecretAddr, kSecret);
+    }
+
+    std::optional<unsigned>
+    attack(SpeculationPolicy *policy)
+    {
+        Pipeline cpu(prog, mem);
+        if (policy)
+            cpu.setPolicy(policy);
+        FlushReload fr(cpu.caches(), kProbeBase);
+
+        // Warm run so the icall's own path is trained/cached.
+        cpu.run(victim);
+        // Attacker poisons the BTB entry of the victim's indirect
+        // call (models mistraining through an aliased branch).
+        Addr icall_pc = prog.func(victim).instAddr(1);
+        cpu.btb().update(icall_pc, gadget);
+        // Victim's secret is warm; the function pointer is flushed.
+        cpu.caches().accessData(kSecretAddr);
+        cpu.caches().flush(kFptrAddr);
+        fr.prime();
+        cpu.run(victim);
+        return fr.recover();
+    }
+};
+
+} // namespace
+
+TEST(SpectreV1, LeaksOnUnsafeHardware)
+{
+    V1Machine m;
+    auto sym = m.attack(nullptr);
+    ASSERT_TRUE(sym.has_value());
+    EXPECT_EQ(*sym, kSecret);
+}
+
+TEST(SpectreV1, ArchitecturalResultUnaffected)
+{
+    // The out-of-bounds call must not architecturally write r7 with
+    // probe data: the bounds check architecturally skips the body.
+    V1Machine m;
+    Pipeline cpu(m.prog, m.mem);
+    cpu.setReg(1, kOob);
+    cpu.setReg(7, 0xdeadbeef);
+    cpu.run(m.victim);
+    EXPECT_EQ(cpu.regValue(7), 0xdeadbeefu);
+}
+
+TEST(SpectreV1, FenceBlocksLeak)
+{
+    V1Machine m;
+    FencePolicy p;
+    EXPECT_FALSE(m.attack(&p).has_value());
+}
+
+TEST(SpectreV1, DomBlocksLeak)
+{
+    // The transmit load misses (probe was flushed) -> delayed.
+    V1Machine m;
+    DomPolicy p;
+    EXPECT_FALSE(m.attack(&p).has_value());
+}
+
+TEST(SpectreV1, SttBlocksLeak)
+{
+    // The transmit address is tainted by the speculative access load.
+    V1Machine m;
+    SttPolicy p;
+    EXPECT_FALSE(m.attack(&p).has_value());
+}
+
+TEST(SpectreV1, SpotMitigationsDoNotBlockV1)
+{
+    // KPTI + retpoline are spot fixes for Meltdown/v2; v1 still leaks.
+    V1Machine m;
+    SpotMitigationPolicy p;
+    auto sym = m.attack(&p);
+    ASSERT_TRUE(sym.has_value());
+    EXPECT_EQ(*sym, kSecret);
+}
+
+TEST(SpectreV2, LeaksOnUnsafeHardware)
+{
+    V2Machine m;
+    auto sym = m.attack(nullptr);
+    ASSERT_TRUE(sym.has_value());
+    EXPECT_EQ(*sym, kSecret);
+}
+
+TEST(SpectreV2, ArchitecturalCallStillDispatchesCorrectly)
+{
+    V2Machine m;
+    Pipeline cpu(m.prog, m.mem);
+    Addr icall_pc = m.prog.func(m.victim).instAddr(1);
+    cpu.btb().update(icall_pc, m.gadget);
+    cpu.setReg(9, 0);
+    cpu.run(m.victim);
+    EXPECT_EQ(cpu.regValue(9), 1u); // legit ran architecturally
+}
+
+TEST(SpectreV2, FenceBlocksLeak)
+{
+    V2Machine m;
+    FencePolicy p;
+    EXPECT_FALSE(m.attack(&p).has_value());
+}
+
+TEST(SpectreV2, SttBlocksLeak)
+{
+    // gadget's secret load executes but its transmit is tainted.
+    V2Machine m;
+    SttPolicy p;
+    EXPECT_FALSE(m.attack(&p).has_value());
+}
+
+TEST(SpectreV2, RetpolineBlocksLeak)
+{
+    // Retpoline suppresses BTB prediction entirely for icalls.
+    V2Machine m;
+    SpotMitigationPolicy p(0, true);
+    EXPECT_FALSE(m.attack(&p).has_value());
+}
+
+TEST(FlushReload, NoSignalWithoutTransmission)
+{
+    Program prog;
+    FuncId f = prog.addFunction("quiet", false);
+    prog.func(f).body = {movImm(1, 3), ret()};
+    prog.layout();
+    Memory mem;
+    Pipeline cpu(prog, mem);
+    FlushReload fr(cpu.caches(), kProbeBase);
+    fr.prime();
+    cpu.run(f);
+    EXPECT_FALSE(fr.recover().has_value());
+}
+
+TEST(SpectreV1, InvisiSpecBlocksLeakButExecutes)
+{
+    // Invisible speculation: the transient loads run (no stall) but
+    // leave no cache trace, so Flush+Reload recovers nothing.
+    V1Machine m;
+    InvisiSpecPolicy p;
+    EXPECT_FALSE(m.attack(&p).has_value());
+}
+
+TEST(SpectreV2, InvisiSpecBlocksLeak)
+{
+    V2Machine m;
+    InvisiSpecPolicy p;
+    EXPECT_FALSE(m.attack(&p).has_value());
+}
+
+TEST(SpectreV1, InvisiSpecPreservesArchitecture)
+{
+    V1Machine m;
+    Pipeline cpu(m.prog, m.mem);
+    InvisiSpecPolicy p;
+    cpu.setPolicy(&p);
+    cpu.setReg(1, 3); // in bounds
+    cpu.run(m.victim);
+    EXPECT_EQ(cpu.regValue(3), 1u); // array1[3]
+}
+
+namespace
+{
+
+/** Retbleed machine: deep recursion underflows the RSB; the BTB
+ * fallback is poisoned with a disclosure gadget. */
+struct RsbMachine
+{
+    Program prog;
+    Memory mem;
+    FuncId rec;
+    FuncId gadget;
+
+    RsbMachine()
+    {
+        gadget = prog.addFunction("gadget", false);
+        rec = prog.addFunction("rec", false);
+        prog.func(gadget).body = {
+            loadAbs(3, kSecretAddr),
+            shlImm(5, 3, 12),
+            addImm(6, 5, kProbeBase),
+            load(7, 6, 0),
+            ret(),
+        };
+        prog.func(rec).body = {
+            branchImm(Cond::Eq, 1, 0, 4),
+            addImm(1, 1, -1),
+            nop(),
+            call(rec),
+            ret(), // 4: the poisoned return site
+        };
+        prog.layout();
+        mem.write(kSecretAddr, kSecret);
+    }
+
+    std::optional<unsigned>
+    attack(SpeculationPolicy *policy)
+    {
+        Pipeline cpu(prog, mem);
+        if (policy)
+            cpu.setPolicy(policy);
+        FlushReload fr(cpu.caches(), kProbeBase);
+
+        Addr ret_pc = prog.func(rec).instAddr(4);
+        cpu.btb().update(ret_pc, gadget);
+
+        std::optional<unsigned> sym;
+        for (int attempt = 0; attempt < 3 && !sym; ++attempt) {
+            cpu.caches().accessData(kSecretAddr);
+            // Evict the deep return-address slots (cross-core
+            // eviction) to widen the windows.
+            for (unsigned d = 0; d < 40; ++d)
+                cpu.caches().flush(cpu.kernelStackBase() - 8 * d);
+            fr.prime();
+            cpu.setReg(1, 24); // depth 24 > 16 RSB entries
+            cpu.run(rec);
+            sym = fr.recover();
+        }
+        return sym;
+    }
+};
+
+} // namespace
+
+TEST(SpectreRsb, UnderflowLeaksOnUnsafeHardware)
+{
+    RsbMachine m;
+    auto sym = m.attack(nullptr);
+    ASSERT_TRUE(sym.has_value());
+    EXPECT_EQ(*sym, kSecret);
+}
+
+TEST(SpectreRsb, RetpolineDoesNotCoverReturns)
+{
+    RsbMachine m;
+    SpotMitigationPolicy p(0, true);
+    auto sym = m.attack(&p);
+    ASSERT_TRUE(sym.has_value()); // Retbleed's gap
+    EXPECT_EQ(*sym, kSecret);
+}
+
+TEST(SpectreRsb, ShadowStackBlocksUnderflowHijack)
+{
+    RsbMachine m;
+    SpecCfiPolicy p;
+    EXPECT_FALSE(m.attack(&p).has_value());
+}
+
+TEST(SpectreRsb, FenceBlocksLeak)
+{
+    RsbMachine m;
+    FencePolicy p;
+    EXPECT_FALSE(m.attack(&p).has_value());
+}

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/memory.hh"
+#include "sim/pipeline.hh"
+#include "sim/program.hh"
+#include "sim/trace.hh"
+
+using namespace perspective::sim;
+
+namespace
+{
+
+struct TraceFixture : ::testing::Test
+{
+    ~TraceFixture() override { trace::reset(); }
+};
+
+RunResult
+runTinyProgram()
+{
+    Program prog;
+    FuncId f = prog.addFunction("tiny", false);
+    prog.func(f).body = {movImm(1, 7), addImm(2, 1, 1), ret()};
+    prog.layout();
+    Memory mem;
+    Pipeline cpu(prog, mem);
+    return cpu.run(f);
+}
+
+} // namespace
+
+TEST_F(TraceFixture, DisabledByDefault)
+{
+    EXPECT_FALSE(trace::enabled(trace::Flag::Commit));
+    EXPECT_FALSE(trace::enabled(trace::Flag::Fetch));
+}
+
+TEST_F(TraceFixture, CommitTraceListsRetiringOps)
+{
+    std::ostringstream os;
+    trace::setStream(&os);
+    trace::enable(trace::Flag::Commit);
+    runTinyProgram();
+    std::string out = os.str();
+    EXPECT_NE(out.find("commit"), std::string::npos);
+    EXPECT_NE(out.find("tiny[0]"), std::string::npos);
+    EXPECT_NE(out.find("ret"), std::string::npos);
+}
+
+TEST_F(TraceFixture, FlagsAreIndependent)
+{
+    std::ostringstream os;
+    trace::setStream(&os);
+    trace::enable(trace::Flag::Squash);
+    runTinyProgram(); // straight-line: no squashes
+    EXPECT_TRUE(os.str().empty());
+}
+
+TEST_F(TraceFixture, EnableFromString)
+{
+    EXPECT_EQ(trace::enableFromString("commit,squash"), 2u);
+    EXPECT_TRUE(trace::enabled(trace::Flag::Commit));
+    EXPECT_TRUE(trace::enabled(trace::Flag::Squash));
+    EXPECT_FALSE(trace::enabled(trace::Flag::Fetch));
+}
+
+TEST_F(TraceFixture, UnknownNamesIgnored)
+{
+    EXPECT_EQ(trace::enableFromString("bogus,alsobad"), 0u);
+    EXPECT_EQ(trace::enableFromString("fence,bogus"), 1u);
+    EXPECT_TRUE(trace::enabled(trace::Flag::Fence));
+}
+
+TEST_F(TraceFixture, DisableStopsOutput)
+{
+    std::ostringstream os;
+    trace::setStream(&os);
+    trace::enable(trace::Flag::Commit);
+    trace::disable(trace::Flag::Commit);
+    runTinyProgram();
+    EXPECT_TRUE(os.str().empty());
+}
+
+TEST_F(TraceFixture, FetchTraceIncludesWrongPath)
+{
+    // Fetch trace shows speculation: more fetched than committed on
+    // a mispredicting branch.
+    Program prog;
+    FuncId f = prog.addFunction("spec", false);
+    Memory mem;
+    mem.write(0x1000, 1);
+    prog.func(f).body = {
+        loadAbs(1, 0x1000),
+        branchImm(Cond::Eq, 1, 1, 4),
+        movImm(2, 666),
+        nop(),
+        ret(),
+    };
+    prog.layout();
+    Pipeline cpu(prog, mem);
+
+    std::ostringstream fetches, commits;
+    trace::setStream(&fetches);
+    trace::enable(trace::Flag::Fetch);
+    cpu.run(f);
+    trace::disable(trace::Flag::Fetch);
+    trace::setStream(&commits);
+    trace::enable(trace::Flag::Commit);
+    cpu.run(f);
+
+    auto count = [](const std::string &s, const char *needle) {
+        unsigned n = 0;
+        for (std::size_t p = s.find(needle); p != std::string::npos;
+             p = s.find(needle, p + 1))
+            ++n;
+        return n;
+    };
+    EXPECT_GE(count(fetches.str(), "spec["),
+              count(commits.str(), "spec["));
+}

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "workloads/experiment.hh"
+
+using namespace perspective;
+using namespace perspective::workloads;
+using kernel::Sys;
+
+TEST(Profiles, LeBenchSuiteShape)
+{
+    auto suite = lebenchSuite();
+    EXPECT_GE(suite.size(), 15u);
+    for (const auto &w : suite) {
+        EXPECT_FALSE(w.request.empty()) << w.name;
+        EXPECT_FALSE(staticSyscallSet(w).empty()) << w.name;
+    }
+}
+
+TEST(Profiles, DatacenterKernelFractionKnobs)
+{
+    // httpd must have the largest userspace share (lowest kernel
+    // fraction target of the four).
+    auto apps = datacenterSuite();
+    ASSERT_EQ(apps.size(), 4u);
+    EXPECT_GT(httpdProfile().userPadIters,
+              memcachedProfile().userPadIters);
+}
+
+TEST(Profiles, StartupTraceCoversLoaderSyscalls)
+{
+    auto t = processStartupTrace();
+    bool has_mmap = false, has_open = false;
+    for (const auto &i : t) {
+        has_mmap |= i.sys == Sys::Mmap;
+        has_open |= i.sys == Sys::Open;
+    }
+    EXPECT_TRUE(has_mmap);
+    EXPECT_TRUE(has_open);
+    EXPECT_GT(t.size(), 15u);
+}
+
+TEST(Experiment, UnsafeRunProducesWork)
+{
+    Experiment e(httpdProfile(), Scheme::Unsafe);
+    auto r = e.run(5, 1);
+    EXPECT_GT(r.cycles, 1000u);
+    EXPECT_GT(r.instructions, 1000u);
+    EXPECT_GT(r.kernelInstructions, 0u);
+    EXPECT_LT(r.kernelFraction(), 1.0);
+    EXPECT_EQ(r.fences, 0u); // unsafe never fences
+}
+
+TEST(Experiment, KernelFractionNearTargets)
+{
+    // Chapter 7: httpd 50%, nginx 65%, memcached 65%, redis 53%.
+    struct Target
+    {
+        WorkloadProfile w;
+        double frac;
+    };
+    for (const auto &[w, frac] :
+         {Target{httpdProfile(), 0.50}, Target{nginxProfile(), 0.65},
+          Target{memcachedProfile(), 0.65},
+          Target{redisProfile(), 0.53}}) {
+        Experiment e(w, Scheme::Unsafe);
+        auto r = e.run(8, 2);
+        EXPECT_NEAR(r.kernelFraction(), frac, 0.12) << w.name;
+    }
+}
+
+TEST(Experiment, PerspectiveHasViewAndPolicy)
+{
+    Experiment e(redisProfile(), Scheme::Perspective);
+    ASSERT_NE(e.isvView(), nullptr);
+    ASSERT_NE(e.perspectivePolicy(), nullptr);
+    EXPECT_GT(e.isvView()->numFunctions(), 100u);
+    EXPECT_LT(e.isvView()->numFunctions(),
+              e.image().numKernelFunctions() / 10);
+}
+
+TEST(Experiment, StaticViewLargerThanDynamic)
+{
+    Experiment stat(redisProfile(), Scheme::PerspectiveStatic);
+    Experiment dyn(redisProfile(), Scheme::Perspective);
+    EXPECT_GT(stat.isvView()->numFunctions(),
+              dyn.isvView()->numFunctions());
+}
+
+TEST(Experiment, PlusPlusViewHasNoGadgetFunctions)
+{
+    Experiment e(redisProfile(), Scheme::PerspectivePlusPlus);
+    for (auto f : e.image().functionsWithGadgets())
+        EXPECT_FALSE(e.isvView()->containsFunction(f));
+}
+
+TEST(Experiment, FenceSlowerThanUnsafe)
+{
+    auto poll = lebenchSuite();
+    const WorkloadProfile *w = nullptr;
+    for (const auto &p : poll) {
+        if (p.name == "poll")
+            w = &p;
+    }
+    ASSERT_NE(w, nullptr);
+    Experiment unsafe_e(*w, Scheme::Unsafe);
+    Experiment fence_e(*w, Scheme::Fence);
+    auto ru = unsafe_e.run(10, 2);
+    auto rf = fence_e.run(10, 2);
+    EXPECT_GT(rf.cycles, ru.cycles * 2); // poll is FENCE's worst case
+}
+
+TEST(Experiment, PerspectiveCloseToUnsafe)
+{
+    Experiment unsafe_e(memcachedProfile(), Scheme::Unsafe);
+    Experiment persp_e(memcachedProfile(), Scheme::Perspective);
+    auto ru = unsafe_e.run(10, 2);
+    auto rp = persp_e.run(10, 2);
+    double overhead = double(rp.cycles) / ru.cycles - 1.0;
+    EXPECT_LT(overhead, 0.08);
+    EXPECT_GT(overhead, -0.05);
+}
+
+TEST(Experiment, CacheHitRatesNear99Percent)
+{
+    Experiment e(nginxProfile(), Scheme::Perspective);
+    auto r = e.run(10, 3);
+    EXPECT_GT(r.isvCacheHitRate, 0.9);
+    EXPECT_GT(r.dsvCacheHitRate, 0.9);
+}
+
+TEST(Experiment, DeterministicAcrossRuns)
+{
+    Experiment a(redisProfile(), Scheme::Perspective);
+    Experiment b(redisProfile(), Scheme::Perspective);
+    auto ra = a.run(5, 1);
+    auto rb = b.run(5, 1);
+    EXPECT_EQ(ra.cycles, rb.cycles);
+    EXPECT_EQ(ra.instructions, rb.instructions);
+}
+
+TEST(Experiment, AsidTaggingSurvivesContextSwitches)
+{
+    // Section 6.2: ISV/DSV cache entries are ASID-tagged so context
+    // switches need no flush. Interleave two tenants' requests and
+    // compare hit rates against an untagged (flush-on-switch)
+    // configuration.
+    auto interleaved_hit_rate = [](bool flush_on_switch) {
+        Experiment e(memcachedProfile(), Scheme::Perspective);
+        core::PerspectiveConfig cfg;
+        cfg.flushOnContextSwitch = flush_on_switch;
+        core::PerspectivePolicy pol(e.kernelState().ownership(), cfg,
+                                    "switch-study");
+        for (kernel::Pid p : {e.mainPid(), e.victimPid()}) {
+            const auto &t = e.kernelState().task(p);
+            pol.registerContext(t.asid, t.domain, e.isvView());
+        }
+        e.pipeline().setPolicy(&pol);
+        for (unsigned i = 0; i < 12; ++i) {
+            e.runRequestAs(i % 2 ? e.victimPid() : e.mainPid());
+        }
+        return std::make_pair(pol.isvCache().hitRate(),
+                              pol.dsvCache().hitRate());
+    };
+
+    auto [isv_tagged, dsv_tagged] = interleaved_hit_rate(false);
+    auto [isv_flush, dsv_flush] = interleaved_hit_rate(true);
+    EXPECT_GT(isv_tagged, isv_flush);
+    EXPECT_GT(dsv_tagged, dsv_flush);
+    EXPECT_GT(isv_tagged, 0.9);
+    EXPECT_GT(dsv_tagged, 0.9);
+}
+
+TEST(Experiment, RunRequestAsSwitchesContext)
+{
+    Experiment e(redisProfile(), Scheme::Perspective);
+    auto r1 = e.runRequestAs(e.mainPid());
+    EXPECT_EQ(e.pipeline().asid(),
+              e.kernelState().task(e.mainPid()).asid);
+    auto r2 = e.runRequestAs(e.victimPid());
+    EXPECT_EQ(e.pipeline().asid(),
+              e.kernelState().task(e.victimPid()).asid);
+    EXPECT_GT(r1.instructions, 0u);
+    EXPECT_GT(r2.instructions, 0u);
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Cross-scheme invariants, parameterized over workloads: every scheme
+ * preserves architectural behavior (same committed instruction count
+ * as UNSAFE), protection never *speeds up* execution beyond noise,
+ * and fence accounting is consistent.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/experiment.hh"
+
+using namespace perspective;
+using namespace perspective::workloads;
+
+namespace
+{
+
+struct SchemeProperty : ::testing::TestWithParam<const char *>
+{
+    WorkloadProfile
+    profile() const
+    {
+        std::string name = GetParam();
+        for (const auto &w : lebenchSuite()) {
+            if (w.name == name)
+                return w;
+        }
+        for (const auto &w : datacenterSuite()) {
+            if (w.name == name)
+                return w;
+        }
+        ADD_FAILURE() << "unknown workload " << name;
+        return {};
+    }
+};
+
+} // namespace
+
+TEST_P(SchemeProperty, SchemesPreserveArchitecturalWork)
+{
+    WorkloadProfile w = profile();
+    Experiment base(w, Scheme::Unsafe);
+    auto ru = base.run(6, 1);
+    for (Scheme s : {Scheme::Fence, Scheme::Dom, Scheme::Stt,
+                     Scheme::Perspective,
+                     Scheme::PerspectivePlusPlus}) {
+        Experiment e(w, s);
+        auto r = e.run(6, 1);
+        // Committed work is identical: defenses only delay, never
+        // change, architectural execution.
+        EXPECT_EQ(r.instructions, ru.instructions)
+            << schemeName(s);
+        EXPECT_EQ(r.kernelInstructions, ru.kernelInstructions)
+            << schemeName(s);
+    }
+}
+
+TEST_P(SchemeProperty, ProtectionNeverFasterThanUnsafeBeyondNoise)
+{
+    WorkloadProfile w = profile();
+    Experiment base(w, Scheme::Unsafe);
+    double u = static_cast<double>(base.run(6, 1).cycles);
+    for (Scheme s : {Scheme::Fence, Scheme::Perspective}) {
+        Experiment e(w, s);
+        double c = static_cast<double>(e.run(6, 1).cycles);
+        EXPECT_GT(c, u * 0.97) << schemeName(s);
+    }
+}
+
+TEST_P(SchemeProperty, FenceAccountingConsistent)
+{
+    WorkloadProfile w = profile();
+    Experiment e(w, Scheme::Perspective);
+    auto r = e.run(6, 1);
+    // Every attributed Perspective fence is a counted pipeline fence.
+    EXPECT_LE(r.isvFences + r.dsvFences, r.fences);
+}
+
+TEST_P(SchemeProperty, FenceBlocksMoreThanPerspective)
+{
+    WorkloadProfile w = profile();
+    Experiment f(w, Scheme::Fence);
+    Experiment p(w, Scheme::Perspective);
+    auto rf = f.run(6, 1);
+    auto rp = p.run(6, 1);
+    // Tailored protection fences strictly less than blanket fencing.
+    EXPECT_LT(rp.fences, rf.fences);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, SchemeProperty,
+                         ::testing::Values("getpid", "read", "poll",
+                                           "mmap", "big-fork",
+                                           "httpd", "memcached",
+                                           "redis"));
