@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hwchar.dir/bench_hwchar.cc.o"
+  "CMakeFiles/bench_hwchar.dir/bench_hwchar.cc.o.d"
+  "bench_hwchar"
+  "bench_hwchar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hwchar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_hwchar.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kasper.dir/bench_kasper.cc.o"
+  "CMakeFiles/bench_kasper.dir/bench_kasper.cc.o.d"
+  "bench_kasper"
+  "bench_kasper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kasper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

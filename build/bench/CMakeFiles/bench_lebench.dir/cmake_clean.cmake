@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lebench.dir/bench_lebench.cc.o"
+  "CMakeFiles/bench_lebench.dir/bench_lebench.cc.o.d"
+  "bench_lebench"
+  "bench_lebench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lebench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_slab.dir/bench_slab.cc.o"
+  "CMakeFiles/bench_slab.dir/bench_slab.cc.o.d"
+  "bench_slab"
+  "bench_slab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_slab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_surface.dir/bench_surface.cc.o"
+  "CMakeFiles/bench_surface.dir/bench_surface.cc.o.d"
+  "bench_surface"
+  "bench_surface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

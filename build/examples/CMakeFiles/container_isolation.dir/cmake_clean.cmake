@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/container_isolation.dir/container_isolation.cpp.o"
+  "CMakeFiles/container_isolation.dir/container_isolation.cpp.o.d"
+  "container_isolation"
+  "container_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/container_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isv_inspector.dir/isv_inspector.cpp.o"
+  "CMakeFiles/isv_inspector.dir/isv_inspector.cpp.o.d"
+  "isv_inspector"
+  "isv_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isv_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_patching.dir/live_patching.cpp.o"
+  "CMakeFiles/live_patching.dir/live_patching.cpp.o.d"
+  "live_patching"
+  "live_patching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_patching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

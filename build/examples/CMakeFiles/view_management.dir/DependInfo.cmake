@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/view_management.cpp" "examples/CMakeFiles/view_management.dir/view_management.cpp.o" "gcc" "examples/CMakeFiles/view_management.dir/view_management.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/perspective_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/perspective_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/perspective_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/perspective_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/view_management.dir/view_management.cpp.o"
+  "CMakeFiles/view_management.dir/view_management.cpp.o.d"
+  "view_management"
+  "view_management.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/view_management.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

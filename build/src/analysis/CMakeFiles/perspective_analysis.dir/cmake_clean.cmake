@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perspective_analysis.dir/scanner.cc.o"
+  "CMakeFiles/perspective_analysis.dir/scanner.cc.o.d"
+  "libperspective_analysis.a"
+  "libperspective_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perspective_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

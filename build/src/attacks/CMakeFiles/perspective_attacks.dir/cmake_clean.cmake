@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perspective_attacks.dir/cve.cc.o"
+  "CMakeFiles/perspective_attacks.dir/cve.cc.o.d"
+  "CMakeFiles/perspective_attacks.dir/poc.cc.o"
+  "CMakeFiles/perspective_attacks.dir/poc.cc.o.d"
+  "libperspective_attacks.a"
+  "libperspective_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perspective_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

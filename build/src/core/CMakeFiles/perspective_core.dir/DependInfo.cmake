@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dsvmt.cc" "src/core/CMakeFiles/perspective_core.dir/dsvmt.cc.o" "gcc" "src/core/CMakeFiles/perspective_core.dir/dsvmt.cc.o.d"
+  "/root/repo/src/core/hwcache.cc" "src/core/CMakeFiles/perspective_core.dir/hwcache.cc.o" "gcc" "src/core/CMakeFiles/perspective_core.dir/hwcache.cc.o.d"
+  "/root/repo/src/core/hwmodel.cc" "src/core/CMakeFiles/perspective_core.dir/hwmodel.cc.o" "gcc" "src/core/CMakeFiles/perspective_core.dir/hwmodel.cc.o.d"
+  "/root/repo/src/core/isv.cc" "src/core/CMakeFiles/perspective_core.dir/isv.cc.o" "gcc" "src/core/CMakeFiles/perspective_core.dir/isv.cc.o.d"
+  "/root/repo/src/core/isv_builders.cc" "src/core/CMakeFiles/perspective_core.dir/isv_builders.cc.o" "gcc" "src/core/CMakeFiles/perspective_core.dir/isv_builders.cc.o.d"
+  "/root/repo/src/core/perspective.cc" "src/core/CMakeFiles/perspective_core.dir/perspective.cc.o" "gcc" "src/core/CMakeFiles/perspective_core.dir/perspective.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/perspective_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/perspective_kernel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perspective_core.dir/dsvmt.cc.o"
+  "CMakeFiles/perspective_core.dir/dsvmt.cc.o.d"
+  "CMakeFiles/perspective_core.dir/hwcache.cc.o"
+  "CMakeFiles/perspective_core.dir/hwcache.cc.o.d"
+  "CMakeFiles/perspective_core.dir/hwmodel.cc.o"
+  "CMakeFiles/perspective_core.dir/hwmodel.cc.o.d"
+  "CMakeFiles/perspective_core.dir/isv.cc.o"
+  "CMakeFiles/perspective_core.dir/isv.cc.o.d"
+  "CMakeFiles/perspective_core.dir/isv_builders.cc.o"
+  "CMakeFiles/perspective_core.dir/isv_builders.cc.o.d"
+  "CMakeFiles/perspective_core.dir/perspective.cc.o"
+  "CMakeFiles/perspective_core.dir/perspective.cc.o.d"
+  "libperspective_core.a"
+  "libperspective_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perspective_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

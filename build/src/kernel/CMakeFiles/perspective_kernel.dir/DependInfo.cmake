@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/buddy.cc" "src/kernel/CMakeFiles/perspective_kernel.dir/buddy.cc.o" "gcc" "src/kernel/CMakeFiles/perspective_kernel.dir/buddy.cc.o.d"
+  "/root/repo/src/kernel/image.cc" "src/kernel/CMakeFiles/perspective_kernel.dir/image.cc.o" "gcc" "src/kernel/CMakeFiles/perspective_kernel.dir/image.cc.o.d"
+  "/root/repo/src/kernel/interp.cc" "src/kernel/CMakeFiles/perspective_kernel.dir/interp.cc.o" "gcc" "src/kernel/CMakeFiles/perspective_kernel.dir/interp.cc.o.d"
+  "/root/repo/src/kernel/kstate.cc" "src/kernel/CMakeFiles/perspective_kernel.dir/kstate.cc.o" "gcc" "src/kernel/CMakeFiles/perspective_kernel.dir/kstate.cc.o.d"
+  "/root/repo/src/kernel/slab.cc" "src/kernel/CMakeFiles/perspective_kernel.dir/slab.cc.o" "gcc" "src/kernel/CMakeFiles/perspective_kernel.dir/slab.cc.o.d"
+  "/root/repo/src/kernel/syscall_exec.cc" "src/kernel/CMakeFiles/perspective_kernel.dir/syscall_exec.cc.o" "gcc" "src/kernel/CMakeFiles/perspective_kernel.dir/syscall_exec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/perspective_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

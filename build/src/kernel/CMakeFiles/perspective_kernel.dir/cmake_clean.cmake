@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perspective_kernel.dir/buddy.cc.o"
+  "CMakeFiles/perspective_kernel.dir/buddy.cc.o.d"
+  "CMakeFiles/perspective_kernel.dir/image.cc.o"
+  "CMakeFiles/perspective_kernel.dir/image.cc.o.d"
+  "CMakeFiles/perspective_kernel.dir/interp.cc.o"
+  "CMakeFiles/perspective_kernel.dir/interp.cc.o.d"
+  "CMakeFiles/perspective_kernel.dir/kstate.cc.o"
+  "CMakeFiles/perspective_kernel.dir/kstate.cc.o.d"
+  "CMakeFiles/perspective_kernel.dir/slab.cc.o"
+  "CMakeFiles/perspective_kernel.dir/slab.cc.o.d"
+  "CMakeFiles/perspective_kernel.dir/syscall_exec.cc.o"
+  "CMakeFiles/perspective_kernel.dir/syscall_exec.cc.o.d"
+  "libperspective_kernel.a"
+  "libperspective_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perspective_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cc" "src/sim/CMakeFiles/perspective_sim.dir/cache.cc.o" "gcc" "src/sim/CMakeFiles/perspective_sim.dir/cache.cc.o.d"
+  "/root/repo/src/sim/inst.cc" "src/sim/CMakeFiles/perspective_sim.dir/inst.cc.o" "gcc" "src/sim/CMakeFiles/perspective_sim.dir/inst.cc.o.d"
+  "/root/repo/src/sim/pipeline.cc" "src/sim/CMakeFiles/perspective_sim.dir/pipeline.cc.o" "gcc" "src/sim/CMakeFiles/perspective_sim.dir/pipeline.cc.o.d"
+  "/root/repo/src/sim/predictor.cc" "src/sim/CMakeFiles/perspective_sim.dir/predictor.cc.o" "gcc" "src/sim/CMakeFiles/perspective_sim.dir/predictor.cc.o.d"
+  "/root/repo/src/sim/program.cc" "src/sim/CMakeFiles/perspective_sim.dir/program.cc.o" "gcc" "src/sim/CMakeFiles/perspective_sim.dir/program.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/sim/CMakeFiles/perspective_sim.dir/stats.cc.o" "gcc" "src/sim/CMakeFiles/perspective_sim.dir/stats.cc.o.d"
+  "/root/repo/src/sim/tlb.cc" "src/sim/CMakeFiles/perspective_sim.dir/tlb.cc.o" "gcc" "src/sim/CMakeFiles/perspective_sim.dir/tlb.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/perspective_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/perspective_sim.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perspective_sim.dir/cache.cc.o"
+  "CMakeFiles/perspective_sim.dir/cache.cc.o.d"
+  "CMakeFiles/perspective_sim.dir/inst.cc.o"
+  "CMakeFiles/perspective_sim.dir/inst.cc.o.d"
+  "CMakeFiles/perspective_sim.dir/pipeline.cc.o"
+  "CMakeFiles/perspective_sim.dir/pipeline.cc.o.d"
+  "CMakeFiles/perspective_sim.dir/predictor.cc.o"
+  "CMakeFiles/perspective_sim.dir/predictor.cc.o.d"
+  "CMakeFiles/perspective_sim.dir/program.cc.o"
+  "CMakeFiles/perspective_sim.dir/program.cc.o.d"
+  "CMakeFiles/perspective_sim.dir/stats.cc.o"
+  "CMakeFiles/perspective_sim.dir/stats.cc.o.d"
+  "CMakeFiles/perspective_sim.dir/tlb.cc.o"
+  "CMakeFiles/perspective_sim.dir/tlb.cc.o.d"
+  "CMakeFiles/perspective_sim.dir/trace.cc.o"
+  "CMakeFiles/perspective_sim.dir/trace.cc.o.d"
+  "libperspective_sim.a"
+  "libperspective_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perspective_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libperspective_sim.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perspective_workloads.dir/driver.cc.o"
+  "CMakeFiles/perspective_workloads.dir/driver.cc.o.d"
+  "CMakeFiles/perspective_workloads.dir/experiment.cc.o"
+  "CMakeFiles/perspective_workloads.dir/experiment.cc.o.d"
+  "CMakeFiles/perspective_workloads.dir/profiles.cc.o"
+  "CMakeFiles/perspective_workloads.dir/profiles.cc.o.d"
+  "libperspective_workloads.a"
+  "libperspective_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perspective_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

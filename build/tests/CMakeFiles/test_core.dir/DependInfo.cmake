@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_dsvmt.cc" "tests/CMakeFiles/test_core.dir/core/test_dsvmt.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_dsvmt.cc.o.d"
+  "/root/repo/tests/core/test_hwcache.cc" "tests/CMakeFiles/test_core.dir/core/test_hwcache.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_hwcache.cc.o.d"
+  "/root/repo/tests/core/test_hwmodel.cc" "tests/CMakeFiles/test_core.dir/core/test_hwmodel.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_hwmodel.cc.o.d"
+  "/root/repo/tests/core/test_isv.cc" "tests/CMakeFiles/test_core.dir/core/test_isv.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_isv.cc.o.d"
+  "/root/repo/tests/core/test_isv_builders.cc" "tests/CMakeFiles/test_core.dir/core/test_isv_builders.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_isv_builders.cc.o.d"
+  "/root/repo/tests/core/test_isv_properties.cc" "tests/CMakeFiles/test_core.dir/core/test_isv_properties.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_isv_properties.cc.o.d"
+  "/root/repo/tests/core/test_perspective.cc" "tests/CMakeFiles/test_core.dir/core/test_perspective.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_perspective.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/perspective_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/perspective_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/perspective_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/perspective_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_dsvmt.cc.o"
+  "CMakeFiles/test_core.dir/core/test_dsvmt.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_hwcache.cc.o"
+  "CMakeFiles/test_core.dir/core/test_hwcache.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_hwmodel.cc.o"
+  "CMakeFiles/test_core.dir/core/test_hwmodel.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_isv.cc.o"
+  "CMakeFiles/test_core.dir/core/test_isv.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_isv_builders.cc.o"
+  "CMakeFiles/test_core.dir/core/test_isv_builders.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_isv_properties.cc.o"
+  "CMakeFiles/test_core.dir/core/test_isv_properties.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_perspective.cc.o"
+  "CMakeFiles/test_core.dir/core/test_perspective.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

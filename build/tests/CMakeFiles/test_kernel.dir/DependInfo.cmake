@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/kernel/test_buddy.cc" "tests/CMakeFiles/test_kernel.dir/kernel/test_buddy.cc.o" "gcc" "tests/CMakeFiles/test_kernel.dir/kernel/test_buddy.cc.o.d"
+  "/root/repo/tests/kernel/test_buddy_properties.cc" "tests/CMakeFiles/test_kernel.dir/kernel/test_buddy_properties.cc.o" "gcc" "tests/CMakeFiles/test_kernel.dir/kernel/test_buddy_properties.cc.o.d"
+  "/root/repo/tests/kernel/test_gadget_ir.cc" "tests/CMakeFiles/test_kernel.dir/kernel/test_gadget_ir.cc.o" "gcc" "tests/CMakeFiles/test_kernel.dir/kernel/test_gadget_ir.cc.o.d"
+  "/root/repo/tests/kernel/test_image.cc" "tests/CMakeFiles/test_kernel.dir/kernel/test_image.cc.o" "gcc" "tests/CMakeFiles/test_kernel.dir/kernel/test_image.cc.o.d"
+  "/root/repo/tests/kernel/test_interp.cc" "tests/CMakeFiles/test_kernel.dir/kernel/test_interp.cc.o" "gcc" "tests/CMakeFiles/test_kernel.dir/kernel/test_interp.cc.o.d"
+  "/root/repo/tests/kernel/test_kstate.cc" "tests/CMakeFiles/test_kernel.dir/kernel/test_kstate.cc.o" "gcc" "tests/CMakeFiles/test_kernel.dir/kernel/test_kstate.cc.o.d"
+  "/root/repo/tests/kernel/test_slab.cc" "tests/CMakeFiles/test_kernel.dir/kernel/test_slab.cc.o" "gcc" "tests/CMakeFiles/test_kernel.dir/kernel/test_slab.cc.o.d"
+  "/root/repo/tests/kernel/test_slab_properties.cc" "tests/CMakeFiles/test_kernel.dir/kernel/test_slab_properties.cc.o" "gcc" "tests/CMakeFiles/test_kernel.dir/kernel/test_slab_properties.cc.o.d"
+  "/root/repo/tests/kernel/test_syscall_exec.cc" "tests/CMakeFiles/test_kernel.dir/kernel/test_syscall_exec.cc.o" "gcc" "tests/CMakeFiles/test_kernel.dir/kernel/test_syscall_exec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/perspective_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/perspective_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel.dir/kernel/test_buddy.cc.o"
+  "CMakeFiles/test_kernel.dir/kernel/test_buddy.cc.o.d"
+  "CMakeFiles/test_kernel.dir/kernel/test_buddy_properties.cc.o"
+  "CMakeFiles/test_kernel.dir/kernel/test_buddy_properties.cc.o.d"
+  "CMakeFiles/test_kernel.dir/kernel/test_gadget_ir.cc.o"
+  "CMakeFiles/test_kernel.dir/kernel/test_gadget_ir.cc.o.d"
+  "CMakeFiles/test_kernel.dir/kernel/test_image.cc.o"
+  "CMakeFiles/test_kernel.dir/kernel/test_image.cc.o.d"
+  "CMakeFiles/test_kernel.dir/kernel/test_interp.cc.o"
+  "CMakeFiles/test_kernel.dir/kernel/test_interp.cc.o.d"
+  "CMakeFiles/test_kernel.dir/kernel/test_kstate.cc.o"
+  "CMakeFiles/test_kernel.dir/kernel/test_kstate.cc.o.d"
+  "CMakeFiles/test_kernel.dir/kernel/test_slab.cc.o"
+  "CMakeFiles/test_kernel.dir/kernel/test_slab.cc.o.d"
+  "CMakeFiles/test_kernel.dir/kernel/test_slab_properties.cc.o"
+  "CMakeFiles/test_kernel.dir/kernel/test_slab_properties.cc.o.d"
+  "CMakeFiles/test_kernel.dir/kernel/test_syscall_exec.cc.o"
+  "CMakeFiles/test_kernel.dir/kernel/test_syscall_exec.cc.o.d"
+  "test_kernel"
+  "test_kernel.pdb"
+  "test_kernel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

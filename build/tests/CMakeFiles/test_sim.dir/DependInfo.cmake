@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_cache.cc" "tests/CMakeFiles/test_sim.dir/sim/test_cache.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_cache.cc.o.d"
+  "/root/repo/tests/sim/test_cache_properties.cc" "tests/CMakeFiles/test_sim.dir/sim/test_cache_properties.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_cache_properties.cc.o.d"
+  "/root/repo/tests/sim/test_covert.cc" "tests/CMakeFiles/test_sim.dir/sim/test_covert.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_covert.cc.o.d"
+  "/root/repo/tests/sim/test_pipeline.cc" "tests/CMakeFiles/test_sim.dir/sim/test_pipeline.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_pipeline.cc.o.d"
+  "/root/repo/tests/sim/test_pipeline_corners.cc" "tests/CMakeFiles/test_sim.dir/sim/test_pipeline_corners.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_pipeline_corners.cc.o.d"
+  "/root/repo/tests/sim/test_pipeline_properties.cc" "tests/CMakeFiles/test_sim.dir/sim/test_pipeline_properties.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_pipeline_properties.cc.o.d"
+  "/root/repo/tests/sim/test_predictor.cc" "tests/CMakeFiles/test_sim.dir/sim/test_predictor.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_predictor.cc.o.d"
+  "/root/repo/tests/sim/test_program.cc" "tests/CMakeFiles/test_sim.dir/sim/test_program.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_program.cc.o.d"
+  "/root/repo/tests/sim/test_spectre.cc" "tests/CMakeFiles/test_sim.dir/sim/test_spectre.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_spectre.cc.o.d"
+  "/root/repo/tests/sim/test_trace.cc" "tests/CMakeFiles/test_sim.dir/sim/test_trace.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/perspective_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/perspective_kernel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

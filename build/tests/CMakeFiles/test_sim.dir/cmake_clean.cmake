@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_cache.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_cache.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_cache_properties.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_cache_properties.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_covert.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_covert.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_pipeline.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_pipeline.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_pipeline_corners.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_pipeline_corners.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_pipeline_properties.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_pipeline_properties.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_predictor.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_predictor.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_program.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_program.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_spectre.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_spectre.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_trace.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_trace.cc.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workloads.dir/workloads/test_driver.cc.o"
+  "CMakeFiles/test_workloads.dir/workloads/test_driver.cc.o.d"
+  "CMakeFiles/test_workloads.dir/workloads/test_experiment.cc.o"
+  "CMakeFiles/test_workloads.dir/workloads/test_experiment.cc.o.d"
+  "CMakeFiles/test_workloads.dir/workloads/test_scheme_properties.cc.o"
+  "CMakeFiles/test_workloads.dir/workloads/test_scheme_properties.cc.o.d"
+  "CMakeFiles/test_workloads.dir/workloads/test_seed_robustness.cc.o"
+  "CMakeFiles/test_workloads.dir/workloads/test_seed_robustness.cc.o.d"
+  "test_workloads"
+  "test_workloads.pdb"
+  "test_workloads[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
