@@ -9,56 +9,83 @@
  *     says both are needed; this shows each half's cost);
  *  4. ASID tagging of the lookup caches across context switches;
  *  5. the secure slab allocator's performance cost.
+ *
+ * All five ablations are planned as one sweep grid, so `--jobs N`
+ * parallelizes across every cell and the shared UNSAFE baselines run
+ * once instead of once per configuration. `--json PATH` dumps the
+ * raw cells, each tagged with its ablation and knob values.
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "common.hh"
 #include "core/perspective.hh"
+#include "harness/sweep.hh"
 #include "workloads/experiment.hh"
 
 using namespace perspective;
 using namespace perspective::bench;
+using namespace perspective::harness;
 using namespace perspective::workloads;
 
 namespace
 {
 
-/** Run `w` under Perspective with a custom config; returns cycles
- * normalized to UNSAFE plus the cache hit rates. */
-struct AblationResult
+/** Cell body: run `profile` under Perspective with a bespoke policy
+ * config, reporting the custom policy's cache hit rates. */
+SweepCell
+configCell(const WorkloadProfile &w, core::PerspectiveConfig cfg,
+           std::map<std::string, std::string> tags)
 {
-    double norm = 0;
-    double isvHit = 0;
-    double dsvHit = 0;
-};
+    SweepCell c;
+    c.profile = w;
+    c.scheme = Scheme::Perspective;
+    c.iterations = kIterations;
+    c.warmup = kWarmup;
+    c.tags = std::move(tags);
+    c.body = [cfg](const SweepCell &cell) {
+        Experiment e(cell.profile, Scheme::Perspective, cell.seed);
+        core::PerspectivePolicy pol(e.kernelState().ownership(), cfg,
+                                    "ablation");
+        const auto &t = e.kernelState().task(e.mainPid());
+        pol.registerContext(t.asid, t.domain, e.isvView());
+        e.pipeline().setPolicy(&pol);
+        RunResult r = e.run(cell.iterations, cell.warmup);
+        r.isvCacheHitRate = pol.isvCache().hitRate();
+        r.dsvCacheHitRate = pol.dsvCache().hitRate();
+        return r;
+    };
+    return c;
+}
 
-AblationResult
-runConfig(const WorkloadProfile &w, core::PerspectiveConfig cfg)
+SweepCell
+unsafeCell(const WorkloadProfile &w, const char *ablation)
 {
-    Experiment base(w, Scheme::Unsafe);
-    double u = static_cast<double>(
-        base.run(kIterations, kWarmup).cycles);
+    SweepCell c;
+    c.profile = w;
+    c.scheme = Scheme::Unsafe;
+    c.iterations = kIterations;
+    c.warmup = kWarmup;
+    c.tags = {{"ablation", ablation}, {"role", "baseline"}};
+    return c;
+}
 
-    Experiment e(w, Scheme::Perspective);
-    core::PerspectivePolicy pol(e.kernelState().ownership(), cfg,
-                                "ablation");
-    const auto &t = e.kernelState().task(e.mainPid());
-    pol.registerContext(t.asid, t.domain, e.isvView());
-    e.pipeline().setPolicy(&pol);
-
-    AblationResult r;
-    r.norm = e.run(kIterations, kWarmup).cycles / u;
-    r.isvHit = pol.isvCache().hitRate();
-    r.dsvHit = pol.dsvCache().hitRate();
-    return r;
+double
+norm(const CellResult &r, const CellResult &base)
+{
+    return static_cast<double>(r.result.cycles) /
+           static_cast<double>(base.result.cycles);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    SweepRunner sweep(parseSweepArgs("bench_ablation", argc, argv));
+
     WorkloadProfile app = nginxProfile();
     WorkloadProfile mmap_bench, bigread_bench;
     for (const auto &w : lebenchSuite()) {
@@ -68,65 +95,76 @@ main()
             bigread_bench = w;
     }
 
-    banner("Ablation 1: ISV/DSV cache capacity (nginx)");
-    std::printf("%-10s %-12s %-12s %-12s\n", "entries", "overhead",
-                "ISV hit", "DSV hit");
-    rule(48);
-    for (unsigned entries : {32u, 64u, 128u, 256u}) {
+    // ---- Plan the whole grid up front -----------------------------
+    std::vector<SweepCell> cells;
+
+    // Ablation 1: cache capacity (nginx). Baseline + 4 sizes.
+    const std::vector<unsigned> kEntries = {32u, 64u, 128u, 256u};
+    std::size_t a1 = cells.size();
+    cells.push_back(unsafeCell(app, "cache-capacity"));
+    for (unsigned entries : kEntries) {
         core::PerspectiveConfig cfg;
         cfg.isvCacheEntries = entries;
         cfg.dsvCacheEntries = entries;
-        auto r = runConfig(app, cfg);
-        std::printf("%-10u %10.1f%% %10.1f%% %10.1f%%\n", entries,
-                    100.0 * (r.norm - 1.0), 100.0 * r.isvHit,
-                    100.0 * r.dsvHit);
+        cells.push_back(configCell(
+            app, cfg,
+            {{"ablation", "cache-capacity"},
+             {"entries", std::to_string(entries)}}));
     }
-    std::printf("[Table 7.1 picks 128: the kernel working set fits "
-                "and hit rates reach ~99%%]\n");
 
-    banner("Ablation 2: fill latency on a cache miss (mmap — "
-           "allocation-heavy, DSVMT-cold)");
-    std::printf("%-10s %-12s\n", "cycles", "overhead");
-    rule(24);
-    for (sim::Cycle lat : {sim::Cycle{7}, sim::Cycle{14},
-                           sim::Cycle{28}, sim::Cycle{56}}) {
+    // Ablation 2: fill latency (mmap). Baseline + 4 latencies.
+    const std::vector<sim::Cycle> kLatencies = {
+        sim::Cycle{7}, sim::Cycle{14}, sim::Cycle{28},
+        sim::Cycle{56}};
+    std::size_t a2 = cells.size();
+    cells.push_back(unsafeCell(mmap_bench, "fill-latency"));
+    for (sim::Cycle lat : kLatencies) {
         core::PerspectiveConfig cfg;
         cfg.fillLatency = lat;
-        auto r = runConfig(mmap_bench, cfg);
-        std::printf("%-10llu %10.2f%%\n",
-                    static_cast<unsigned long long>(lat),
-                    100.0 * (r.norm - 1.0));
+        cells.push_back(configCell(
+            mmap_bench, cfg,
+            {{"ablation", "fill-latency"},
+             {"cycles", std::to_string(lat)}}));
     }
-    std::printf("[allocation-heavy paths are the one place refill "
-                "speed shows: every fresh page's first access "
-                "blocks for the refill]\n");
 
-    banner("Ablation 3: view composition");
-    std::printf("%-12s %-12s %-12s %-12s\n", "workload", "DSV-only",
-                "ISV-only", "both");
-    rule(50);
-    for (const auto &w : {mmap_bench, bigread_bench,
-                          httpdProfile()}) {
+    // Ablation 3: view composition. Per workload: baseline,
+    // DSV-only, ISV-only, both.
+    const std::vector<WorkloadProfile> comp_workloads = {
+        mmap_bench, bigread_bench, httpdProfile()};
+    std::size_t a3 = cells.size();
+    for (const auto &w : comp_workloads) {
+        cells.push_back(unsafeCell(w, "view-composition"));
         core::PerspectiveConfig dsv_only;
         dsv_only.enableIsv = false;
         core::PerspectiveConfig isv_only;
         isv_only.enableDsv = false;
         core::PerspectiveConfig both;
-        std::printf("%-12s %10.2f%% %10.2f%% %10.2f%%\n",
-                    w.name.c_str(),
-                    100.0 * (runConfig(w, dsv_only).norm - 1.0),
-                    100.0 * (runConfig(w, isv_only).norm - 1.0),
-                    100.0 * (runConfig(w, both).norm - 1.0));
+        cells.push_back(configCell(w, dsv_only,
+                                   {{"ablation", "view-composition"},
+                                    {"views", "dsv-only"}}));
+        cells.push_back(configCell(w, isv_only,
+                                   {{"ablation", "view-composition"},
+                                    {"views", "isv-only"}}));
+        cells.push_back(configCell(w, both,
+                                   {{"ablation", "view-composition"},
+                                    {"views", "both"}}));
     }
-    std::printf("[costs compose roughly additively; security "
-                "requires both halves — see bench_security]\n");
 
-    banner("Ablation 4: ASID tagging of the ISV/DSV caches");
-    std::printf("%-16s %-12s %-12s\n", "mode", "ISV hit", "DSV hit");
-    rule(42);
-    {
-        auto interleave = [](bool flush_on_switch) {
-            Experiment e(memcachedProfile(), Scheme::Perspective);
+    // Ablation 4: ASID tagging vs flush-on-switch. Two cells whose
+    // bodies interleave two tenants' requests.
+    std::size_t a4 = cells.size();
+    for (bool flush_on_switch : {false, true}) {
+        SweepCell c;
+        c.profile = memcachedProfile();
+        c.scheme = Scheme::Perspective;
+        c.iterations = 24; // interleaved requests
+        c.warmup = 0;
+        c.tags = {{"ablation", "asid-tagging"},
+                  {"mode", flush_on_switch ? "flush-on-switch"
+                                           : "asid-tagged"}};
+        c.body = [flush_on_switch](const SweepCell &cell) {
+            Experiment e(cell.profile, Scheme::Perspective,
+                         cell.seed);
             core::PerspectiveConfig cfg;
             cfg.flushOnContextSwitch = flush_on_switch;
             core::PerspectivePolicy pol(e.kernelState().ownership(),
@@ -136,17 +174,103 @@ main()
                 pol.registerContext(t.asid, t.domain, e.isvView());
             }
             e.pipeline().setPolicy(&pol);
-            for (unsigned i = 0; i < 24; ++i)
-                e.runRequestAs(i % 2 ? e.victimPid() : e.mainPid());
-            return std::make_pair(pol.isvCache().hitRate(),
-                                  pol.dsvCache().hitRate());
+            RunResult r;
+            for (unsigned i = 0; i < cell.iterations; ++i) {
+                auto one = e.runRequestAs(i % 2 ? e.victimPid()
+                                                : e.mainPid());
+                r.cycles += one.cycles;
+                r.instructions += one.instructions;
+            }
+            r.isvCacheHitRate = pol.isvCache().hitRate();
+            r.dsvCacheHitRate = pol.dsvCache().hitRate();
+            return r;
         };
-        auto [i_tag, d_tag] = interleave(false);
-        auto [i_flush, d_flush] = interleave(true);
-        std::printf("%-16s %10.1f%% %10.1f%%\n", "ASID-tagged",
-                    100.0 * i_tag, 100.0 * d_tag);
-        std::printf("%-16s %10.1f%% %10.1f%%\n", "flush-on-switch",
-                    100.0 * i_flush, 100.0 * d_flush);
+        cells.push_back(std::move(c));
+    }
+
+    // Ablation 5: secure slab cost. Per app: packed slab (UNSAFE
+    // stack) vs secure slab (Perspective stack, gating disabled).
+    auto apps = datacenterSuite();
+    std::size_t a5 = cells.size();
+    for (const auto &w : apps) {
+        cells.push_back(unsafeCell(w, "secure-slab"));
+        SweepCell c;
+        c.profile = w;
+        c.scheme = Scheme::Perspective;
+        c.iterations = kIterations;
+        c.warmup = kWarmup;
+        c.tags = {{"ablation", "secure-slab"},
+                  {"slab", "secure"}};
+        c.body = [](const SweepCell &cell) {
+            // Isolate the allocator: secure-slab kernel, all
+            // speculation gating off.
+            Experiment e(cell.profile, Scheme::Perspective,
+                         cell.seed);
+            e.pipeline().setPolicy(nullptr);
+            return e.run(cell.iterations, cell.warmup);
+        };
+        cells.push_back(std::move(c));
+    }
+
+    auto results = sweep.run(cells);
+
+    // ---- Render ---------------------------------------------------
+    banner("Ablation 1: ISV/DSV cache capacity (nginx)");
+    std::printf("%-10s %-12s %-12s %-12s\n", "entries", "overhead",
+                "ISV hit", "DSV hit");
+    rule(48);
+    for (std::size_t k = 0; k < kEntries.size(); ++k) {
+        const CellResult &r = results[a1 + 1 + k];
+        std::printf("%-10u %10.1f%% %10.1f%% %10.1f%%\n",
+                    kEntries[k],
+                    100.0 * (norm(r, results[a1]) - 1.0),
+                    100.0 * r.result.isvCacheHitRate,
+                    100.0 * r.result.dsvCacheHitRate);
+    }
+    std::printf("[Table 7.1 picks 128: the kernel working set fits "
+                "and hit rates reach ~99%%]\n");
+
+    banner("Ablation 2: fill latency on a cache miss (mmap — "
+           "allocation-heavy, DSVMT-cold)");
+    std::printf("%-10s %-12s\n", "cycles", "overhead");
+    rule(24);
+    for (std::size_t k = 0; k < kLatencies.size(); ++k) {
+        const CellResult &r = results[a2 + 1 + k];
+        std::printf("%-10llu %10.2f%%\n",
+                    static_cast<unsigned long long>(kLatencies[k]),
+                    100.0 * (norm(r, results[a2]) - 1.0));
+    }
+    std::printf("[allocation-heavy paths are the one place refill "
+                "speed shows: every fresh page's first access "
+                "blocks for the refill]\n");
+
+    banner("Ablation 3: view composition");
+    std::printf("%-12s %-12s %-12s %-12s\n", "workload", "DSV-only",
+                "ISV-only", "both");
+    rule(50);
+    for (std::size_t row = 0; row < comp_workloads.size(); ++row) {
+        std::size_t base = a3 + row * 4;
+        std::printf("%-12s %10.2f%% %10.2f%% %10.2f%%\n",
+                    results[base].workload.c_str(),
+                    100.0 * (norm(results[base + 1], results[base]) -
+                             1.0),
+                    100.0 * (norm(results[base + 2], results[base]) -
+                             1.0),
+                    100.0 * (norm(results[base + 3], results[base]) -
+                             1.0));
+    }
+    std::printf("[costs compose roughly additively; security "
+                "requires both halves — see bench_security]\n");
+
+    banner("Ablation 4: ASID tagging of the ISV/DSV caches");
+    std::printf("%-16s %-12s %-12s\n", "mode", "ISV hit", "DSV hit");
+    rule(42);
+    for (std::size_t k = 0; k < 2; ++k) {
+        const CellResult &r = results[a4 + k];
+        std::printf("%-16s %10.1f%% %10.1f%%\n",
+                    r.tags.at("mode").c_str(),
+                    100.0 * r.result.isvCacheHitRate,
+                    100.0 * r.result.dsvCacheHitRate);
     }
     std::printf("[Section 6.2 tags entries with the ASID so context "
                 "switches keep both caches warm]\n");
@@ -155,24 +279,17 @@ main()
     std::printf("%-12s %-14s %-14s\n", "workload", "normal slab",
                 "secure slab");
     rule(42);
-    for (const auto &w : datacenterSuite()) {
-        // Unsafe scheme toggles the secure allocator off; Perspective
-        // on. Compare UNSAFE cycles under both allocator modes by
-        // running the unsafe scheme against each kernel config.
-        Experiment normal(w, Scheme::Unsafe);   // packed slab
-        Experiment secure(w, Scheme::Perspective); // secure slab
-        double n = static_cast<double>(
-            normal.run(kIterations, kWarmup).cycles);
-        // Isolate the allocator by disabling all gating on the
-        // secure-slab stack.
-        secure.pipeline().setPolicy(nullptr);
-        double s2 = static_cast<double>(
-            secure.run(kIterations, kWarmup).cycles);
-        std::printf("%-12s %12.0f %12.0f (%+.2f%%)\n", w.name.c_str(),
-                    n, s2, 100.0 * (s2 / n - 1.0));
+    for (std::size_t row = 0; row < apps.size(); ++row) {
+        const CellResult &n = results[a5 + row * 2];
+        const CellResult &s = results[a5 + row * 2 + 1];
+        double nc = static_cast<double>(n.result.cycles);
+        double sc = static_cast<double>(s.result.cycles);
+        std::printf("%-12s %12.0f %12.0f (%+.2f%%)\n",
+                    n.workload.c_str(), nc, sc,
+                    100.0 * (sc / nc - 1.0));
     }
     std::printf("[page-granular isolation costs almost nothing in "
                 "cycles; its price is the 0.91%%-class memory "
                 "fragmentation of bench_slab]\n");
-    return 0;
+    return sweep.emitJson() ? 0 : 1;
 }

@@ -11,6 +11,7 @@
 
 #include "analysis/scanner.hh"
 #include "common.hh"
+#include "harness/sweep.hh"
 #include "workloads/experiment.hh"
 
 using namespace perspective;
@@ -47,8 +48,7 @@ main()
                 "bounded (found, g/h)", "unbounded bench note");
     rule(60);
 
-    double sum = 0;
-    unsigned n = 0;
+    std::vector<double> speedups;
 
     // LEBench as one campaign over the whole suite's union view is
     // approximated by its most representative microbenchmarks.
@@ -64,13 +64,13 @@ main()
     for (const auto &w : workloads) {
         ScanResult bounded;
         double s = speedupFor(w, &bounded);
-        sum += s;
-        ++n;
+        speedups.push_back(s);
         std::printf("%-10s %6.2fx   %4u gadgets, %7.1f g/h\n",
                     w.name.c_str(), s, bounded.gadgetsFound,
                     bounded.discoveryRate());
     }
-    std::printf("%-10s %6.2fx\n", "average", sum / n);
+    std::printf("%-10s %6.2fx\n", "geomean",
+                harness::geomean(speedups));
     std::printf("\n[paper: 1.14-2.23x per workload, 1.57x average]\n");
     return 0;
 }

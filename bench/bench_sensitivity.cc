@@ -4,57 +4,109 @@
  *  - cost of blocking unknown allocations (toggle blockUnknown);
  *  - ISV/DSV cache hit rates;
  *  - DSVMT walk depths and memory footprint.
+ *
+ * The first two sections run their grids through the sweep runner
+ * (`--jobs N`, `--json PATH`); the DSVMT probe needs live access to
+ * the policy's tree and stays inline.
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "common.hh"
 #include "core/perspective.hh"
+#include "harness/sweep.hh"
 #include "workloads/experiment.hh"
 
 using namespace perspective;
 using namespace perspective::bench;
+using namespace perspective::harness;
 using namespace perspective::workloads;
 
 namespace
 {
 
-/** Run a perspective experiment with a custom config. */
-sim::Cycle
-runWithConfig(const WorkloadProfile &w, bool block_unknown)
+/** Cell body: Perspective with blockUnknown toggled. */
+SweepCell
+unknownCell(const WorkloadProfile &w, bool block_unknown)
 {
-    Experiment e(w, Scheme::Perspective);
-    core::PerspectiveConfig cfg;
-    cfg.blockUnknown = block_unknown;
-    core::PerspectivePolicy pol(e.kernelState().ownership(), cfg,
-                                "sensitivity");
-    const auto &t = e.kernelState().task(e.mainPid());
-    pol.registerContext(t.asid, t.domain, e.isvView());
-    e.pipeline().setPolicy(&pol);
-    return e.run(kIterations, kWarmup).cycles;
+    SweepCell c;
+    c.profile = w;
+    c.scheme = Scheme::Perspective;
+    c.iterations = kIterations;
+    c.warmup = kWarmup;
+    c.tags = {{"section", "unknown-allocations"},
+              {"block_unknown", block_unknown ? "true" : "false"}};
+    c.body = [block_unknown](const SweepCell &cell) {
+        Experiment e(cell.profile, Scheme::Perspective, cell.seed);
+        core::PerspectiveConfig cfg;
+        cfg.blockUnknown = block_unknown;
+        core::PerspectivePolicy pol(e.kernelState().ownership(), cfg,
+                                    "sensitivity");
+        const auto &t = e.kernelState().task(e.mainPid());
+        pol.registerContext(t.asid, t.domain, e.isvView());
+        e.pipeline().setPolicy(&pol);
+        return e.run(cell.iterations, cell.warmup);
+    };
+    return c;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    SweepRunner sweep(parseSweepArgs("bench_sensitivity", argc,
+                                     argv));
+
+    // Grid: per LEBench workload, [unsafe, block-unknown,
+    // allow-unknown]; then the four datacenter apps under
+    // Perspective for hit rates.
+    auto suite = lebenchSuite();
+    std::vector<SweepCell> cells;
+    for (const auto &w : suite) {
+        SweepCell base;
+        base.profile = w;
+        base.scheme = Scheme::Unsafe;
+        base.iterations = kIterations;
+        base.warmup = kWarmup;
+        base.tags = {{"section", "unknown-allocations"},
+                     {"role", "baseline"}};
+        cells.push_back(std::move(base));
+        cells.push_back(unknownCell(w, true));
+        cells.push_back(unknownCell(w, false));
+    }
+    auto apps = datacenterSuite();
+    std::size_t hit_base = cells.size();
+    for (const auto &w : apps) {
+        SweepCell c;
+        c.profile = w;
+        c.scheme = Scheme::Perspective;
+        c.iterations = kIterations;
+        c.warmup = kWarmup;
+        c.tags = {{"section", "hit-rates"}};
+        cells.push_back(std::move(c));
+    }
+    auto results = sweep.run(cells);
+
     banner("Section 9.2: Unknown allocations");
     std::printf("%-12s %-14s %-14s %-10s\n", "workload",
                 "block-unknown", "allow-unknown", "delta");
     rule(54);
     double overhead_sum = 0;
     unsigned n = 0;
-    for (const auto &w : lebenchSuite()) {
-        Experiment base(w, Scheme::Unsafe);
-        double unsafe_cycles = static_cast<double>(
-            base.run(kIterations, kWarmup).cycles);
-        double with_block = runWithConfig(w, true) / unsafe_cycles;
-        double without = runWithConfig(w, false) / unsafe_cycles;
+    for (std::size_t row = 0; row < suite.size(); ++row) {
+        const CellResult &base = results[row * 3];
+        double unsafe_cycles =
+            static_cast<double>(base.result.cycles);
+        double with_block =
+            results[row * 3 + 1].result.cycles / unsafe_cycles;
+        double without =
+            results[row * 3 + 2].result.cycles / unsafe_cycles;
         overhead_sum += with_block - without;
         ++n;
-        std::printf("%-12s %12.3f %14.3f %9.1f%%\n", w.name.c_str(),
-                    with_block, without,
+        std::printf("%-12s %12.3f %14.3f %9.1f%%\n",
+                    base.workload.c_str(), with_block, without,
                     100.0 * (with_block - without));
     }
     std::printf("average share of overhead from unknown allocations:"
@@ -66,12 +118,11 @@ main()
     std::printf("%-12s %-10s %-10s\n", "workload", "ISV cache",
                 "DSV cache");
     rule(34);
-    for (const auto &w : datacenterSuite()) {
-        Experiment e(w, Scheme::Perspective);
-        auto r = e.run(kIterations, kWarmup);
-        std::printf("%-12s %8.1f%% %9.1f%%\n", w.name.c_str(),
-                    100.0 * r.isvCacheHitRate,
-                    100.0 * r.dsvCacheHitRate);
+    for (std::size_t row = 0; row < apps.size(); ++row) {
+        const CellResult &r = results[hit_base + row];
+        std::printf("%-12s %8.1f%% %9.1f%%\n", r.workload.c_str(),
+                    100.0 * r.result.isvCacheHitRate,
+                    100.0 * r.result.dsvCacheHitRate);
     }
     std::printf("[paper: both caches ~99%% hit rate]\n");
 
@@ -87,5 +138,5 @@ main()
                     tree.memoryBytes(),
                     tree.walkLevels(t.ctxPfn));
     }
-    return 0;
+    return sweep.emitJson() ? 0 : 1;
 }

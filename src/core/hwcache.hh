@@ -75,6 +75,15 @@ class IsvCache
     void invalidateAsid(sim::Asid asid);
     void invalidateAll();
 
+    /** Zero the hit/miss counters without evicting entries (used to
+     * separate warmup from measurement). */
+    void
+    resetAccounting()
+    {
+        hits_ = 0;
+        misses_ = 0;
+    }
+
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
     double
@@ -121,6 +130,15 @@ class DsvCache
      * wired to the OwnershipMap listener). */
     void invalidatePage(sim::Addr page_va);
     void invalidateAll();
+
+    /** Zero the hit/miss counters without evicting entries (used to
+     * separate warmup from measurement). */
+    void
+    resetAccounting()
+    {
+        hits_ = 0;
+        misses_ = 0;
+    }
 
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }

@@ -1,0 +1,78 @@
+#include "pool.hh"
+
+namespace perspective::harness
+{
+
+ThreadPool::ThreadPool(unsigned threads) : numThreads_(threads)
+{
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stopping_ = true;
+    }
+    taskReady_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+unsigned
+ThreadPool::defaultThreads()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : n;
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    if (numThreads_ == 0) {
+        task();
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        queue_.push_back(std::move(task));
+        ++inFlight_;
+    }
+    taskReady_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    if (numThreads_ == 0)
+        return;
+    std::unique_lock<std::mutex> lk(mu_);
+    allDone_.wait(lk, [this] { return inFlight_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            taskReady_.wait(
+                lk, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping_ and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            if (--inFlight_ == 0)
+                allDone_.notify_all();
+        }
+    }
+}
+
+} // namespace perspective::harness

@@ -1,0 +1,251 @@
+#include "sweep.hh"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+
+namespace perspective::harness
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+unsigned
+parseJobs(const std::string &s, const char *origin)
+{
+    char *end = nullptr;
+    long v = std::strtol(s.c_str(), &end, 10);
+    if (end == s.c_str() || *end != '\0' || v < 1 || v > 4096) {
+        std::fprintf(stderr,
+                     "sweep: bad job count '%s' from %s "
+                     "(want 1..4096)\n",
+                     s.c_str(), origin);
+        std::exit(2);
+    }
+    return static_cast<unsigned>(v);
+}
+
+} // namespace
+
+unsigned
+SweepOptions::effectiveJobs() const
+{
+    return jobs == 0 ? ThreadPool::defaultThreads() : jobs;
+}
+
+SweepOptions
+parseSweepArgs(const std::string &bench_name, int argc, char **argv)
+{
+    SweepOptions opts;
+    opts.benchName = bench_name;
+
+    if (const char *env = std::getenv("PERSPECTIVE_JOBS"))
+        opts.jobs = parseJobs(env, "PERSPECTIVE_JOBS");
+    if (const char *env = std::getenv("PERSPECTIVE_BENCH_JSON"))
+        opts.jsonPath = env;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: %s needs a value\n",
+                             bench_name.c_str(), flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--jobs" || arg == "-j") {
+            opts.jobs = parseJobs(value("--jobs"), "--jobs");
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            opts.jobs = parseJobs(arg.substr(7), "--jobs");
+        } else if (arg == "--json") {
+            opts.jsonPath = value("--json");
+        } else if (arg.rfind("--json=", 0) == 0) {
+            opts.jsonPath = arg.substr(7);
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf(
+                "usage: %s [--jobs N] [--json PATH]\n"
+                "  --jobs N     worker threads for the sweep grid\n"
+                "               (default: hardware concurrency;\n"
+                "               env PERSPECTIVE_JOBS)\n"
+                "  --json PATH  emit all sweep results as JSON\n"
+                "               (env PERSPECTIVE_BENCH_JSON)\n",
+                bench_name.c_str());
+            std::exit(0);
+        } else {
+            std::fprintf(stderr,
+                         "%s: unknown argument '%s' "
+                         "(try --help)\n",
+                         bench_name.c_str(), arg.c_str());
+            std::exit(2);
+        }
+    }
+    return opts;
+}
+
+SweepRunner::SweepRunner(SweepOptions opts) : opts_(std::move(opts))
+{
+    // Fail fast on an unwritable JSON path — a sweep can run for
+    // hours and must not discover a typo'd --json at emit time.
+    // Append mode probes writability without truncating an
+    // existing result file.
+    if (!opts_.jsonPath.empty()) {
+        std::ofstream probe(opts_.jsonPath, std::ios::app);
+        if (!probe) {
+            std::fprintf(stderr,
+                         "sweep: cannot open '%s' for writing\n",
+                         opts_.jsonPath.c_str());
+            std::exit(2);
+        }
+    }
+
+    // jobs == 1 runs inline on the calling thread (pool of 0).
+    unsigned n = opts_.effectiveJobs();
+    pool_ = std::make_unique<ThreadPool>(n <= 1 ? 0 : n);
+}
+
+std::vector<CellResult>
+SweepRunner::run(const std::vector<SweepCell> &cells)
+{
+    auto t0 = Clock::now();
+
+    std::vector<CellResult> out(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const SweepCell &cell = cells[i];
+        CellResult &slot = out[i]; // grid order, not finish order
+        pool_->submit([&cell, &slot] {
+            auto c0 = Clock::now();
+            slot.workload = cell.profile.name;
+            slot.scheme = workloads::schemeName(cell.scheme);
+            slot.seed = cell.seed;
+            slot.iterations = cell.iterations;
+            slot.warmup = cell.warmup;
+            slot.tags = cell.tags;
+            try {
+                if (cell.body) {
+                    slot.result = cell.body(cell);
+                } else {
+                    workloads::Experiment e(cell.profile, cell.scheme,
+                                            cell.seed);
+                    slot.result =
+                        e.run(cell.iterations, cell.warmup);
+                }
+                slot.ok = true;
+            } catch (const std::exception &ex) {
+                slot.ok = false;
+                slot.error = ex.what();
+            } catch (...) {
+                slot.ok = false;
+                slot.error = "unknown exception";
+            }
+            slot.wallSeconds = secondsSince(c0);
+        });
+    }
+    pool_->wait();
+
+    wallSeconds_ += secondsSince(t0);
+    results_.insert(results_.end(), out.begin(), out.end());
+    return out;
+}
+
+Json
+cellToJson(const CellResult &r)
+{
+    Json::Object o;
+    o["workload"] = r.workload;
+    o["scheme"] = r.scheme;
+    o["seed"] = r.seed;
+    o["iterations"] = r.iterations;
+    o["warmup"] = r.warmup;
+    o["wall_seconds"] = r.wallSeconds;
+    o["ok"] = r.ok;
+    if (!r.ok)
+        o["error"] = r.error;
+    if (!r.tags.empty()) {
+        Json::Object tags;
+        for (const auto &[k, v] : r.tags)
+            tags[k] = v;
+        o["tags"] = std::move(tags);
+    }
+
+    const workloads::RunResult &res = r.result;
+    o["cycles"] = static_cast<std::uint64_t>(res.cycles);
+    o["instructions"] = res.instructions;
+    o["kernel_instructions"] = res.kernelInstructions;
+    o["kernel_fraction"] = res.kernelFraction();
+    o["fences"] = res.fences;
+    o["isv_fences"] = res.isvFences;
+    o["dsv_fences"] = res.dsvFences;
+    o["isv_cache_hit_rate"] = res.isvCacheHitRate;
+    o["dsv_cache_hit_rate"] = res.dsvCacheHitRate;
+
+    Json::Object stats;
+    for (const auto &[name, value] : res.stats.all())
+        stats[name] = value;
+    o["stats"] = std::move(stats);
+    return Json(std::move(o));
+}
+
+Json
+SweepRunner::toJson() const
+{
+    Json::Object doc;
+    doc["schema"] = std::uint64_t{1};
+    doc["bench"] = opts_.benchName;
+    doc["jobs"] = jobs();
+    doc["wall_seconds"] = wallSeconds_;
+    Json::Array cells;
+    cells.reserve(results_.size());
+    for (const CellResult &r : results_)
+        cells.push_back(cellToJson(r));
+    doc["cells"] = std::move(cells);
+    return Json(std::move(doc));
+}
+
+bool
+SweepRunner::emitJson() const
+{
+    if (opts_.jsonPath.empty())
+        return true;
+    std::ofstream os(opts_.jsonPath);
+    if (!os) {
+        std::fprintf(stderr, "sweep: cannot open '%s' for writing\n",
+                     opts_.jsonPath.c_str());
+        return false;
+    }
+    toJson().write(os, 2);
+    os.put('\n');
+    if (!os.flush()) {
+        std::fprintf(stderr, "sweep: short write to '%s'\n",
+                     opts_.jsonPath.c_str());
+        return false;
+    }
+    std::printf("[sweep: %zu cells, %u jobs, %.2fs; results -> %s]\n",
+                results_.size(), jobs(), wallSeconds_,
+                opts_.jsonPath.c_str());
+    return true;
+}
+
+double
+geomean(const std::vector<double> &ratios)
+{
+    if (ratios.empty())
+        return 0.0;
+    double log_sum = 0;
+    for (double r : ratios)
+        log_sum += std::log(std::max(r, 1e-12));
+    return std::exp(log_sum / static_cast<double>(ratios.size()));
+}
+
+} // namespace perspective::harness

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Sweep runner: every figure in the paper is a grid of
+ * (workload x scheme) cells, each booting a fresh simulated stack.
+ * An Experiment owns its own Memory/KernelImage/Pipeline, so cells
+ * are share-nothing and embarrassingly parallel. The runner executes
+ * a grid on a thread pool, returns results in deterministic grid
+ * order regardless of completion order, and can emit the whole sweep
+ * as JSON for machine consumption (--json / PERSPECTIVE_BENCH_JSON),
+ * with --jobs / PERSPECTIVE_JOBS controlling parallelism.
+ */
+
+#ifndef PERSPECTIVE_HARNESS_SWEEP_HH
+#define PERSPECTIVE_HARNESS_SWEEP_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "json.hh"
+#include "pool.hh"
+#include "workloads/experiment.hh"
+
+namespace perspective::harness
+{
+
+/** One grid cell: a workload under a scheme with a seed. */
+struct SweepCell
+{
+    workloads::WorkloadProfile profile;
+    workloads::Scheme scheme = workloads::Scheme::Unsafe;
+    std::uint64_t seed = 42;
+    unsigned iterations = 30;
+    unsigned warmup = 3;
+
+    /** Free-form metadata carried into the result and the JSON
+     * emission (e.g. an ablation's config knob values). */
+    std::map<std::string, std::string> tags;
+
+    /**
+     * Optional custom cell body. When empty the runner constructs
+     * Experiment(profile, scheme, seed) and calls
+     * run(iterations, warmup). Custom bodies (ablations wiring
+     * bespoke PerspectiveConfigs) must stay share-nothing: build
+     * every simulation object inside the callback.
+     */
+    std::function<workloads::RunResult(const SweepCell &)> body;
+};
+
+/** Outcome of one cell, plus wall-clock cost and metadata. */
+struct CellResult
+{
+    std::string workload;
+    std::string scheme;
+    std::uint64_t seed = 0;
+    unsigned iterations = 0;
+    unsigned warmup = 0;
+    std::map<std::string, std::string> tags;
+
+    workloads::RunResult result;
+    double wallSeconds = 0;
+
+    bool ok = false;
+    std::string error; ///< exception text when !ok
+};
+
+/** Parallelism / emission knobs, usually parsed from argv + env. */
+struct SweepOptions
+{
+    std::string benchName;
+    unsigned jobs = 0;    ///< 0 = hardware concurrency
+    std::string jsonPath; ///< empty = no JSON emission
+
+    /** Effective worker count after defaulting. */
+    unsigned effectiveJobs() const;
+};
+
+/**
+ * Parse `--jobs N` / `--json PATH` (and `--help`) from argv, with
+ * PERSPECTIVE_JOBS / PERSPECTIVE_BENCH_JSON as environment
+ * fallbacks. Unknown arguments print usage and exit(2).
+ */
+SweepOptions parseSweepArgs(const std::string &bench_name, int argc,
+                            char **argv);
+
+/**
+ * Runs cell grids and accumulates their results. A bench binary may
+ * call run() several times (one per table section); emitJson()
+ * writes everything accumulated so far.
+ */
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(SweepOptions opts);
+
+    /**
+     * Execute @p cells and return their results in grid order.
+     * Cell failures (exceptions) are captured per-cell in
+     * CellResult::error rather than tearing down the sweep.
+     */
+    std::vector<CellResult> run(const std::vector<SweepCell> &cells);
+
+    /** Everything accumulated across run() calls, in order. */
+    const std::vector<CellResult> &results() const
+    {
+        return results_;
+    }
+
+    /** Total wall-clock seconds spent inside run(). */
+    double wallSeconds() const { return wallSeconds_; }
+
+    unsigned jobs() const { return opts_.effectiveJobs(); }
+
+    /** The sweep as a JSON document. */
+    Json toJson() const;
+
+    /**
+     * If a JSON path is configured, write the sweep there and print
+     * a one-line note; returns false on I/O failure. No-op (true)
+     * when no path is configured.
+     */
+    bool emitJson() const;
+
+  private:
+    SweepOptions opts_;
+    std::unique_ptr<ThreadPool> pool_;
+    std::vector<CellResult> results_;
+    double wallSeconds_ = 0;
+};
+
+/** JSON object for one cell result (schema used by emitJson). */
+Json cellToJson(const CellResult &r);
+
+/**
+ * Geometric mean of @p ratios (the correct aggregate for normalized
+ * latencies/throughputs; arithmetic means overweight outliers).
+ * Returns 0 for an empty input; non-positive entries are clamped to
+ * a tiny epsilon so a degenerate cell cannot poison the aggregate.
+ */
+double geomean(const std::vector<double> &ratios);
+
+} // namespace perspective::harness
+
+#endif // PERSPECTIVE_HARNESS_SWEEP_HH

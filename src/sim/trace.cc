@@ -1,7 +1,9 @@
 #include "trace.hh"
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 
 namespace perspective::sim::trace
 {
@@ -9,8 +11,13 @@ namespace perspective::sim::trace
 namespace
 {
 
-std::uint32_t g_flags = 0;
-std::ostream *g_stream = nullptr;
+// The only mutable globals in the simulator. Concurrent Experiment
+// instances (the sweep runner's worker threads) all consult
+// enabled() on the hot path, so flag and stream state are atomics,
+// and emission is serialized so lines never interleave mid-record.
+std::atomic<std::uint32_t> g_flags{0};
+std::atomic<std::ostream *> g_stream{nullptr};
+std::mutex g_log_mu;
 
 const char *
 flagName(Flag f)
@@ -30,26 +37,29 @@ flagName(Flag f)
 void
 enable(Flag f)
 {
-    g_flags |= static_cast<std::uint32_t>(f);
+    g_flags.fetch_or(static_cast<std::uint32_t>(f),
+                     std::memory_order_relaxed);
 }
 
 void
 disable(Flag f)
 {
-    g_flags &= ~static_cast<std::uint32_t>(f);
+    g_flags.fetch_and(~static_cast<std::uint32_t>(f),
+                      std::memory_order_relaxed);
 }
 
 void
 reset()
 {
-    g_flags = 0;
-    g_stream = nullptr;
+    g_flags.store(0, std::memory_order_relaxed);
+    g_stream.store(nullptr, std::memory_order_relaxed);
 }
 
 bool
 enabled(Flag f)
 {
-    return (g_flags & static_cast<std::uint32_t>(f)) != 0;
+    return (g_flags.load(std::memory_order_relaxed) &
+            static_cast<std::uint32_t>(f)) != 0;
 }
 
 unsigned
@@ -86,13 +96,15 @@ enableFromEnvironment()
 void
 setStream(std::ostream *os)
 {
-    g_stream = os;
+    g_stream.store(os, std::memory_order_release);
 }
 
 void
 log(Flag f, Cycle cycle, const std::string &message)
 {
-    std::ostream &os = g_stream ? *g_stream : std::cerr;
+    std::ostream *custom = g_stream.load(std::memory_order_acquire);
+    std::ostream &os = custom ? *custom : std::cerr;
+    std::lock_guard<std::mutex> lk(g_log_mu);
     os << cycle << ": " << flagName(f) << ": " << message << "\n";
 }
 

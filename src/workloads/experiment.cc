@@ -245,24 +245,28 @@ Experiment::run(unsigned iterations, unsigned warmup)
     for (unsigned i = 0; i < warmup; ++i)
         runRequestOnPipeline();
 
-    // Snapshot counters so the result covers only measured work.
+    // Warmup must leave the microarchitectural state warm but the
+    // accounting cold: zero every stat counter and the ISV/DSV
+    // cache hit/miss bookkeeping (cached entries survive) so the
+    // result — including the StatSet snapshot it carries and the
+    // cache hit rates — covers only measured work.
     sim::StatSet &st = cpu_->stats();
-    std::uint64_t inst0 = st.get("committed");
-    std::uint64_t kinst0 = st.get("committed.kernel");
-    std::uint64_t fence0 = st.get("fences");
-    std::uint64_t isvf0 = st.get("perspective.fence.isv");
-    std::uint64_t dsvf0 = st.get("perspective.fence.dsv");
+    st.clear();
+    if (perspective_) {
+        perspective_->isvCache().resetAccounting();
+        perspective_->dsvCache().resetAccounting();
+    }
 
     RunResult out;
     for (unsigned i = 0; i < iterations; ++i) {
         auto r = runRequestOnPipeline();
         out.cycles += r.cycles;
     }
-    out.instructions = st.get("committed") - inst0;
-    out.kernelInstructions = st.get("committed.kernel") - kinst0;
-    out.fences = st.get("fences") - fence0;
-    out.isvFences = st.get("perspective.fence.isv") - isvf0;
-    out.dsvFences = st.get("perspective.fence.dsv") - dsvf0;
+    out.instructions = st.get("committed");
+    out.kernelInstructions = st.get("committed.kernel");
+    out.fences = st.get("fences");
+    out.isvFences = st.get("perspective.fence.isv");
+    out.dsvFences = st.get("perspective.fence.dsv");
     if (perspective_) {
         out.isvCacheHitRate = perspective_->isvCache().hitRate();
         out.dsvCacheHitRate = perspective_->dsvCache().hitRate();

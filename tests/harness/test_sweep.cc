@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+
+#include "harness/json.hh"
+#include "harness/pool.hh"
+#include "harness/sweep.hh"
+
+using namespace perspective;
+using namespace perspective::harness;
+using namespace perspective::workloads;
+
+// ---- ThreadPool ----------------------------------------------------
+
+TEST(ThreadPool, RunsEveryTask)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, InlineModeRunsOnSubmittingThread)
+{
+    ThreadPool pool(0);
+    std::thread::id submitter = std::this_thread::get_id();
+    std::thread::id ran_on;
+    pool.submit([&] { ran_on = std::this_thread::get_id(); });
+    pool.wait();
+    EXPECT_EQ(ran_on, submitter);
+}
+
+TEST(ThreadPool, WaitIsReusable)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1);
+    pool.submit([&count] { ++count; });
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 3);
+}
+
+// ---- Json ----------------------------------------------------------
+
+TEST(Json, RoundTripsScalars)
+{
+    Json doc = Json::parse(
+        R"({"u": 18446744073709551615, "d": 1.5, "s": "a\nb",)"
+        R"( "t": true, "n": null, "a": [1, 2, 3]})");
+    EXPECT_EQ(doc.at("u").asUint(), 18446744073709551615ull);
+    EXPECT_DOUBLE_EQ(doc.at("d").asDouble(), 1.5);
+    EXPECT_EQ(doc.at("s").asString(), "a\nb");
+    EXPECT_TRUE(doc.at("t").asBool());
+    EXPECT_TRUE(doc.at("n").isNull());
+    EXPECT_EQ(doc.at("a").asArray().size(), 3u);
+
+    // dump -> parse -> dump is a fixed point.
+    std::string once = doc.dump(2);
+    EXPECT_EQ(Json::parse(once).dump(2), once);
+}
+
+TEST(Json, RejectsMalformedInput)
+{
+    EXPECT_THROW(Json::parse("{"), std::runtime_error);
+    EXPECT_THROW(Json::parse("[1,]"), std::runtime_error);
+    EXPECT_THROW(Json::parse("{\"a\":1} x"), std::runtime_error);
+    EXPECT_THROW(Json::parse("\"unterminated"), std::runtime_error);
+}
+
+// ---- Sweep determinism --------------------------------------------
+
+namespace
+{
+
+std::vector<SweepCell>
+smallGrid()
+{
+    std::vector<SweepCell> cells;
+    unsigned added = 0;
+    for (const auto &w : lebenchSuite()) {
+        if (w.name != "getpid" && w.name != "read" &&
+            w.name != "poll")
+            continue;
+        for (Scheme s : {Scheme::Unsafe, Scheme::Fence}) {
+            SweepCell c;
+            c.profile = w;
+            c.scheme = s;
+            c.iterations = 4;
+            c.warmup = 1;
+            cells.push_back(std::move(c));
+        }
+        ++added;
+    }
+    EXPECT_EQ(added, 3u);
+    return cells;
+}
+
+SweepOptions
+optsWithJobs(unsigned jobs)
+{
+    SweepOptions o;
+    o.benchName = "test_sweep";
+    o.jobs = jobs;
+    return o;
+}
+
+void
+expectIdentical(const CellResult &a, const CellResult &b)
+{
+    EXPECT_TRUE(a.ok) << a.error;
+    EXPECT_TRUE(b.ok) << b.error;
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.scheme, b.scheme);
+    EXPECT_EQ(a.result.cycles, b.result.cycles);
+    EXPECT_EQ(a.result.instructions, b.result.instructions);
+    EXPECT_EQ(a.result.kernelInstructions,
+              b.result.kernelInstructions);
+    EXPECT_EQ(a.result.fences, b.result.fences);
+    EXPECT_EQ(a.result.isvFences, b.result.isvFences);
+    EXPECT_EQ(a.result.dsvFences, b.result.dsvFences);
+    EXPECT_EQ(a.result.isvCacheHitRate, b.result.isvCacheHitRate);
+    EXPECT_EQ(a.result.dsvCacheHitRate, b.result.dsvCacheHitRate);
+    EXPECT_EQ(a.result.stats.all(), b.result.stats.all());
+}
+
+} // namespace
+
+TEST(Sweep, ParallelGridMatchesSerialGrid)
+{
+    // Cells are share-nothing, so a 4-job run must produce the
+    // byte-identical RunResult grid of a 1-job run, in the same
+    // (grid) order.
+    SweepRunner serial(optsWithJobs(1));
+    SweepRunner parallel(optsWithJobs(4));
+    auto grid = smallGrid();
+    auto rs = serial.run(grid);
+    auto rp = parallel.run(grid);
+    ASSERT_EQ(rs.size(), grid.size());
+    ASSERT_EQ(rp.size(), grid.size());
+    for (std::size_t i = 0; i < rs.size(); ++i)
+        expectIdentical(rs[i], rp[i]);
+}
+
+TEST(Sweep, ResultsArriveInGridOrder)
+{
+    SweepRunner runner(optsWithJobs(4));
+    auto grid = smallGrid();
+    auto rs = runner.run(grid);
+    ASSERT_EQ(rs.size(), grid.size());
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+        EXPECT_EQ(rs[i].workload, grid[i].profile.name);
+        EXPECT_EQ(rs[i].scheme, schemeName(grid[i].scheme));
+        EXPECT_GT(rs[i].result.cycles, 0u);
+        EXPECT_GE(rs[i].wallSeconds, 0.0);
+    }
+}
+
+TEST(Sweep, CellFailureIsCapturedNotFatal)
+{
+    SweepRunner runner(optsWithJobs(2));
+    SweepCell bad;
+    bad.profile = lebenchSuite().front();
+    bad.scheme = Scheme::Unsafe;
+    bad.body = [](const SweepCell &) -> RunResult {
+        throw std::runtime_error("boom");
+    };
+    SweepCell good;
+    good.profile = lebenchSuite().front();
+    good.scheme = Scheme::Unsafe;
+    good.iterations = 2;
+    good.warmup = 0;
+    auto rs = runner.run({bad, good});
+    ASSERT_EQ(rs.size(), 2u);
+    EXPECT_FALSE(rs[0].ok);
+    EXPECT_EQ(rs[0].error, "boom");
+    EXPECT_TRUE(rs[1].ok);
+    EXPECT_GT(rs[1].result.cycles, 0u);
+}
+
+TEST(Sweep, JsonEmissionRoundTripsCounters)
+{
+    SweepRunner runner(optsWithJobs(2));
+    auto grid = smallGrid();
+    auto rs = runner.run(grid);
+
+    Json doc = Json::parse(runner.toJson().dump(2));
+    EXPECT_EQ(doc.at("bench").asString(), "test_sweep");
+    EXPECT_EQ(doc.at("schema").asUint(), 1u);
+    const auto &cells = doc.at("cells").asArray();
+    ASSERT_EQ(cells.size(), rs.size());
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+        const Json &c = cells[i];
+        EXPECT_EQ(c.at("workload").asString(), rs[i].workload);
+        EXPECT_EQ(c.at("scheme").asString(), rs[i].scheme);
+        EXPECT_EQ(c.at("cycles").asUint(),
+                  static_cast<std::uint64_t>(rs[i].result.cycles));
+        EXPECT_EQ(c.at("instructions").asUint(),
+                  rs[i].result.instructions);
+        EXPECT_EQ(c.at("fences").asUint(), rs[i].result.fences);
+        // The full StatSet rides along and round-trips too.
+        const auto &stats = c.at("stats").asObject();
+        for (const auto &[name, value] : rs[i].result.stats.all())
+            EXPECT_EQ(stats.at(name).asUint(), value) << name;
+    }
+}
+
+TEST(Sweep, GeomeanIsGeometric)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0, 1.0}), 2.0);
+    EXPECT_DOUBLE_EQ(geomean({2.0, 2.0, 2.0}), 2.0);
+    EXPECT_EQ(geomean({}), 0.0);
+    // Arithmetic mean of {0.5, 2.0} is 1.25; geometric is 1.0 — the
+    // whole point of the lebench aggregation fix.
+    EXPECT_DOUBLE_EQ(geomean({0.5, 2.0}), 1.0);
+}
+
+TEST(SweepOptions, EnvAndDefaultJobs)
+{
+    SweepOptions o;
+    EXPECT_GE(o.effectiveJobs(), 1u);
+    o.jobs = 3;
+    EXPECT_EQ(o.effectiveJobs(), 3u);
+}

@@ -128,6 +128,38 @@ TEST(Experiment, CacheHitRatesNear99Percent)
     EXPECT_GT(r.dsvCacheHitRate, 0.9);
 }
 
+TEST(Experiment, WarmupDoesNotPolluteMeasuredCounters)
+{
+    // Regression: warmup iterations must not leak into the measured
+    // counters. For a deterministic workload the measured portion of
+    // a warmed-up run reports exactly the counters of a cold run of
+    // the same length — both through the RunResult fields and the
+    // StatSet snapshot it carries.
+    Experiment cold(redisProfile(), Scheme::Perspective);
+    Experiment warm(redisProfile(), Scheme::Perspective);
+    auto rc = cold.run(5, 0);
+    auto rw = warm.run(5, 2);
+    EXPECT_EQ(rc.instructions, rw.instructions);
+    EXPECT_EQ(rc.kernelInstructions, rw.kernelInstructions);
+    EXPECT_EQ(rc.stats.get("committed"),
+              rw.stats.get("committed"));
+    EXPECT_EQ(rw.stats.get("committed"), rw.instructions);
+    // Warmup may legitimately change cycles (warm predictors and
+    // caches), but never the committed instruction stream.
+    EXPECT_GT(rw.instructions, 0u);
+}
+
+TEST(Experiment, HitRatesCoverOnlyMeasuredPhase)
+{
+    // After the warmup/measurement split, the ISV/DSV hit rates in
+    // the result reflect the measured phase alone: with entries
+    // prefilled by warmup, a short measured run must be near-perfect.
+    Experiment e(nginxProfile(), Scheme::Perspective);
+    auto r = e.run(3, 5);
+    EXPECT_GT(r.isvCacheHitRate, 0.95);
+    EXPECT_GT(r.dsvCacheHitRate, 0.95);
+}
+
 TEST(Experiment, DeterministicAcrossRuns)
 {
     Experiment a(redisProfile(), Scheme::Perspective);
