@@ -291,5 +291,5 @@ main(int argc, char **argv)
     std::printf("[page-granular isolation costs almost nothing in "
                 "cycles; its price is the 0.91%%-class memory "
                 "fragmentation of bench_slab]\n");
-    return sweep.emitJson() ? 0 : 1;
+    return sweep.emitOutputs() ? 0 : 1;
 }

@@ -95,5 +95,5 @@ main(int argc, char **argv)
                 "0.95, Perspective flavors 0.987-0.988;\n"
                 " OS-time fractions 50/65/65/53%% for "
                 "httpd/nginx/memcached/redis]\n");
-    return sweep.emitJson() ? 0 : 1;
+    return sweep.emitOutputs() ? 0 : 1;
 }

@@ -84,5 +84,5 @@ main(int argc, char **argv)
                 " DOM 1.231, STT 1.037,\n"
                 " spot (KPTI+retpoline) 1.145, P-STATIC 1.041, "
                 "PERSPECTIVE 1.036, P++ 1.035]\n");
-    return sweep.emitJson() ? 0 : 1;
+    return sweep.emitOutputs() ? 0 : 1;
 }

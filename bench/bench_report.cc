@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Sweep-result comparison and regression reporting: reads one or
+ * more sweep JSON files (emitted by any bench's --json flag), prints
+ * a per-file summary, and — given a baseline file — a per-cell delta
+ * report on the deterministic metrics (cycles, instructions,
+ * fences). Cells are matched by their provenance config hash, so a
+ * reordered grid still lines up.
+ *
+ *   bench_report out.json                       # summarize
+ *   bench_report out.json --baseline base.json  # per-cell deltas
+ *   bench_report out.json --baseline base.json --check
+ *       # exit 1 if any delta is non-zero (CI regression gate;
+ *       # two runs of the same build must agree exactly)
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/json.hh"
+#include "harness/sweep.hh"
+
+using perspective::harness::Json;
+
+namespace
+{
+
+struct Cell
+{
+    std::string workload;
+    std::string scheme;
+    std::string key; ///< config hash (+ duplicate suffix)
+    bool ok = false;
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t fences = 0;
+};
+
+struct SweepFile
+{
+    std::string path;
+    std::string bench;
+    std::string git;
+    double wallSeconds = 0;
+    std::vector<Cell> cells;
+};
+
+std::uint64_t
+uintOr0(const Json &obj, const char *field)
+{
+    return obj.contains(field) && obj.at(field).isNumber()
+               ? obj.at(field).asUint()
+               : 0;
+}
+
+SweepFile
+loadSweep(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is) {
+        std::fprintf(stderr, "bench_report: cannot read '%s'\n",
+                     path.c_str());
+        std::exit(2);
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    Json doc = Json::parse(buf.str());
+
+    SweepFile f;
+    f.path = path;
+    if (doc.contains("bench"))
+        f.bench = doc.at("bench").asString();
+    if (doc.contains("git"))
+        f.git = doc.at("git").asString();
+    if (doc.contains("wall_seconds"))
+        f.wallSeconds = doc.at("wall_seconds").asDouble();
+
+    // Duplicate configurations (the same cell run twice in one grid)
+    // disambiguate by occurrence index, preserving grid order.
+    std::map<std::string, unsigned> seen;
+    for (const Json &cj : doc.at("cells").asArray()) {
+        Cell c;
+        c.workload = cj.at("workload").asString();
+        c.scheme = cj.at("scheme").asString();
+        c.ok = cj.at("ok").asBool();
+        c.cycles = uintOr0(cj, "cycles");
+        c.instructions = uintOr0(cj, "instructions");
+        c.fences = uintOr0(cj, "fences");
+        std::string hash =
+            cj.contains("provenance")
+                ? cj.at("provenance").at("config_hash").asString()
+                : c.workload + "|" + c.scheme; // pre-provenance files
+        unsigned n = seen[hash]++;
+        c.key = hash + "#" + std::to_string(n);
+        f.cells.push_back(std::move(c));
+    }
+    return f;
+}
+
+void
+summarize(const SweepFile &f)
+{
+    std::uint64_t failed = 0;
+    for (const Cell &c : f.cells)
+        failed += c.ok ? 0 : 1;
+    std::printf("%s: bench=%s git=%s cells=%zu failed=%llu "
+                "wall=%.2fs\n",
+                f.path.c_str(), f.bench.c_str(),
+                f.git.empty() ? "?" : f.git.c_str(),
+                f.cells.size(),
+                static_cast<unsigned long long>(failed),
+                f.wallSeconds);
+}
+
+/** Signed delta column: "+12345" / "0". */
+std::string
+delta(std::uint64_t now, std::uint64_t base)
+{
+    std::int64_t d = static_cast<std::int64_t>(now) -
+                     static_cast<std::int64_t>(base);
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%+lld",
+                  static_cast<long long>(d));
+    return d == 0 ? "0" : buf;
+}
+
+unsigned
+compare(const SweepFile &now, const SweepFile &base, bool verbose)
+{
+    std::map<std::string, const Cell *> baseByKey;
+    for (const Cell &c : base.cells)
+        baseByKey[c.key] = &c;
+
+    unsigned diffs = 0, unmatched = 0;
+    std::printf("\n%-14s %-20s %14s %14s %10s\n", "workload",
+                "scheme", "d(cycles)", "d(insts)", "d(fences)");
+    for (const Cell &c : now.cells) {
+        auto it = baseByKey.find(c.key);
+        if (it == baseByKey.end()) {
+            ++unmatched;
+            std::printf("%-14s %-20s %s\n", c.workload.c_str(),
+                        c.scheme.c_str(),
+                        "(no matching baseline cell)");
+            continue;
+        }
+        const Cell &b = *it->second;
+        bool same = c.cycles == b.cycles &&
+                    c.instructions == b.instructions &&
+                    c.fences == b.fences;
+        if (!same)
+            ++diffs;
+        if (same && !verbose)
+            continue;
+        std::printf("%-14s %-20s %14s %14s %10s\n",
+                    c.workload.c_str(), c.scheme.c_str(),
+                    delta(c.cycles, b.cycles).c_str(),
+                    delta(c.instructions, b.instructions).c_str(),
+                    delta(c.fences, b.fences).c_str());
+    }
+    std::printf("\n%u of %zu cells differ from baseline"
+                " (%u unmatched)\n",
+                diffs, now.cells.size(), unmatched);
+    return diffs + unmatched;
+}
+
+void
+usage(int code)
+{
+    std::printf(
+        "usage: bench_report FILE.json [FILE2.json ...]\n"
+        "           [--baseline BASE.json] [--check] [--verbose]\n"
+        "  --baseline F  per-cell delta of every input against F\n"
+        "  --check       exit 1 if any cell differs from the\n"
+        "                baseline (regression gate)\n"
+        "  --verbose     list identical cells too\n");
+    std::exit(code);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> inputs;
+    std::string baselinePath;
+    bool check = false, verbose = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--baseline") {
+            if (i + 1 >= argc)
+                usage(2);
+            baselinePath = argv[++i];
+        } else if (arg.rfind("--baseline=", 0) == 0) {
+            baselinePath = arg.substr(11);
+        } else if (arg == "--check") {
+            check = true;
+        } else if (arg == "--verbose") {
+            verbose = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(0);
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr,
+                         "bench_report: unknown argument '%s'\n",
+                         arg.c_str());
+            usage(2);
+        } else {
+            inputs.push_back(arg);
+        }
+    }
+    if (inputs.empty())
+        usage(2);
+    if (check && baselinePath.empty()) {
+        std::fprintf(stderr,
+                     "bench_report: --check needs --baseline\n");
+        return 2;
+    }
+
+    unsigned total_diffs = 0;
+    for (const std::string &path : inputs)
+        summarize(loadSweep(path));
+
+    if (!baselinePath.empty()) {
+        SweepFile base = loadSweep(baselinePath);
+        std::printf("\nbaseline: ");
+        summarize(base);
+        for (const std::string &path : inputs)
+            total_diffs += compare(loadSweep(path), base, verbose);
+    }
+
+    if (check && total_diffs > 0) {
+        std::fprintf(stderr,
+                     "bench_report: FAIL — %u differing cell(s)\n",
+                     total_diffs);
+        return 1;
+    }
+    return 0;
+}

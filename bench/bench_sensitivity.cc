@@ -138,5 +138,5 @@ main(int argc, char **argv)
                     tree.memoryBytes(),
                     tree.walkLevels(t.ctxPfn));
     }
-    return sweep.emitJson() ? 0 : 1;
+    return sweep.emitOutputs() ? 0 : 1;
 }

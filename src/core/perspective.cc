@@ -73,6 +73,20 @@ PerspectivePolicy::dsvmtOf(DomainId domain)
     return tree;
 }
 
+void
+PerspectivePolicy::noteHit(std::uint64_t &run,
+                           const char *hist_name)
+{
+    if (run == 0)
+        return;
+    // A hit ends a consecutive-miss burst: record its length so the
+    // cache-behaviour analyses can tell scattered misses (capacity)
+    // from bursts (cold regions / view reconfigurations).
+    if (stats_)
+        stats_->histogram(hist_name).sample(run);
+    run = 0;
+}
+
 Gate
 PerspectivePolicy::gateLoad(const SpecContext &ctx)
 {
@@ -112,6 +126,7 @@ PerspectivePolicy::gateLoad(const SpecContext &ctx)
                     ctx.pc, IsvCache::kRegionBytes);
                 isvCache_.fill(ctx.pc, ctx.asid, bits,
                                ctx.now + cfg_.fillLatency);
+                noteMiss(isvMissRun_);
                 if (stats_) {
                     stats_->inc("perspective.fence.isv");
                     stats_->inc("perspective.fence.isv_miss");
@@ -119,6 +134,8 @@ PerspectivePolicy::gateLoad(const SpecContext &ctx)
             }
             return Gate::Block;
         }
+        if (ctx.firstCheck)
+            noteHit(isvMissRun_, "isv_miss_burst");
         if (!look.allow) {
             if (stats_ && ctx.firstCheck)
                 stats_->inc("perspective.fence.isv");
@@ -134,6 +151,7 @@ PerspectivePolicy::gateLoad(const SpecContext &ctx)
                 dsvCache_.fill(ctx.dataVa, ctx.asid,
                                inDsv(ctx.dataVa, c.domain),
                                ctx.now + cfg_.fillLatency);
+                noteMiss(dsvMissRun_);
                 if (stats_) {
                     stats_->inc("perspective.fence.dsv");
                     stats_->inc("perspective.fence.dsv_miss");
@@ -141,6 +159,8 @@ PerspectivePolicy::gateLoad(const SpecContext &ctx)
             }
             return Gate::Block;
         }
+        if (ctx.firstCheck)
+            noteHit(dsvMissRun_, "dsv_miss_burst");
         if (!look.allow) {
             if (stats_ && ctx.firstCheck)
                 stats_->inc("perspective.fence.dsv");

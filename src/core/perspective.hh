@@ -104,6 +104,16 @@ class PerspectivePolicy : public sim::SpeculationPolicy
     std::unordered_map<sim::Asid, Context> contexts_;
     std::unordered_map<kernel::DomainId, Dsvmt> dsvmts_;
     sim::Asid lastAsid_ = 0;
+
+    /** Record a miss (or a run-ending hit) on one view cache and
+     * sample completed burst lengths into @p hist_name. */
+    void noteMiss(std::uint64_t &run) { ++run; }
+    void noteHit(std::uint64_t &run, const char *hist_name);
+
+    // Current consecutive-miss run length per view cache; a hit
+    // closes the run and samples it into the burst histogram.
+    std::uint64_t isvMissRun_ = 0;
+    std::uint64_t dsvMissRun_ = 0;
 };
 
 } // namespace perspective::core

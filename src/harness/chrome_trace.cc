@@ -1,0 +1,84 @@
+#include "chrome_trace.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+namespace perspective::harness
+{
+
+Json
+chromeTraceJson(const sim::trace::EventLog &log)
+{
+    std::vector<sim::trace::Event> events = log.snapshot();
+    std::stable_sort(events.begin(), events.end(),
+                     [](const auto &a, const auto &b) {
+                         if (a.lane != b.lane)
+                             return a.lane < b.lane;
+                         if (a.start != b.start)
+                             return a.start < b.start;
+                         return a.seq < b.seq;
+                     });
+
+    Json::Array out;
+    out.reserve(events.size());
+    for (const sim::trace::Event &ev : events) {
+        Json::Object o;
+        o["name"] = ev.name;
+        o["cat"] = sim::trace::flagName(ev.flag);
+        o["pid"] = std::uint64_t{1};
+        o["tid"] = static_cast<std::uint64_t>(ev.lane + 1);
+        o["ts"] = ev.start;
+        if (ev.dur > 0) {
+            o["ph"] = "X";
+            o["dur"] = ev.dur;
+        } else {
+            o["ph"] = "i";
+            o["s"] = "t"; // thread-scoped instant
+        }
+        Json::Object args;
+        args["seq"] = ev.seq;
+        args["func"] = ev.func;
+        args["kernel"] = ev.kernel;
+        if (ev.issue > 0)
+            args["issue"] = ev.issue;
+        o["args"] = std::move(args);
+        out.emplace_back(std::move(o));
+    }
+
+    Json::Object doc;
+    doc["traceEvents"] = std::move(out);
+    doc["displayTimeUnit"] = "ms";
+    Json::Object other;
+    other["clock"] = "1 trace us == 1 simulated cycle";
+    other["dropped_events"] = log.dropped();
+    doc["otherData"] = std::move(other);
+    return Json(std::move(doc));
+}
+
+bool
+writeChromeTrace(const sim::trace::EventLog &log,
+                 const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os) {
+        std::fprintf(stderr,
+                     "trace: cannot open '%s' for writing\n",
+                     path.c_str());
+        return false;
+    }
+    chromeTraceJson(log).write(os, 1);
+    os.put('\n');
+    if (!os.flush()) {
+        std::fprintf(stderr, "trace: short write to '%s'\n",
+                     path.c_str());
+        return false;
+    }
+    std::printf("[trace: %zu events (%llu dropped) -> %s]\n",
+                log.size(),
+                static_cast<unsigned long long>(log.dropped()),
+                path.c_str());
+    return true;
+}
+
+} // namespace perspective::harness

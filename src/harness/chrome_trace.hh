@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Serializer from the simulator's structured event log to the Chrome
+ * trace_event JSON format, loadable in chrome://tracing and Perfetto
+ * (ui.perfetto.dev). Simulated cycles are mapped 1:1 onto trace
+ * microseconds, so one timeline unit is one core cycle. Built on the
+ * harness JSON writer — no external dependency.
+ */
+
+#ifndef PERSPECTIVE_HARNESS_CHROME_TRACE_HH
+#define PERSPECTIVE_HARNESS_CHROME_TRACE_HH
+
+#include <string>
+
+#include "json.hh"
+#include "sim/trace.hh"
+
+namespace perspective::harness
+{
+
+/**
+ * Convert @p log to a Chrome trace_event document: spans become "X"
+ * (complete) events, instants become "i" events; recording lanes map
+ * to trace tids so a parallel sweep's cells render as separate
+ * tracks. Events are sorted by (lane, start, seq) so emission is
+ * deterministic regardless of completion interleaving.
+ */
+Json chromeTraceJson(const sim::trace::EventLog &log);
+
+/**
+ * Write @p log to @p path as Chrome trace JSON; prints a one-line
+ * note on success. Returns false on I/O failure.
+ */
+bool writeChromeTrace(const sim::trace::EventLog &log,
+                      const std::string &path);
+
+} // namespace perspective::harness
+
+#endif // PERSPECTIVE_HARNESS_CHROME_TRACE_HH

@@ -7,6 +7,8 @@
 #include <exception>
 #include <fstream>
 
+#include "chrome_trace.hh"
+
 namespace perspective::harness
 {
 
@@ -36,7 +38,31 @@ parseJobs(const std::string &s, const char *origin)
     return static_cast<unsigned>(v);
 }
 
+/** Probe @p path for writability without truncating it; a sweep can
+ * run for hours and must not discover a typo'd path at emit time. */
+void
+probeWritable(const std::string &path, const char *what)
+{
+    std::ofstream probe(path, std::ios::app);
+    if (!probe) {
+        std::fprintf(stderr, "sweep: cannot open %s '%s' for "
+                             "writing\n",
+                     what, path.c_str());
+        std::exit(2);
+    }
+}
+
 } // namespace
+
+const char *
+buildGitDescribe()
+{
+#ifdef PERSPECTIVE_GIT_DESCRIBE
+    return PERSPECTIVE_GIT_DESCRIBE;
+#else
+    return "unknown";
+#endif
+}
 
 unsigned
 SweepOptions::effectiveJobs() const
@@ -54,6 +80,8 @@ parseSweepArgs(const std::string &bench_name, int argc, char **argv)
         opts.jobs = parseJobs(env, "PERSPECTIVE_JOBS");
     if (const char *env = std::getenv("PERSPECTIVE_BENCH_JSON"))
         opts.jsonPath = env;
+    if (const char *env = std::getenv("PERSPECTIVE_TRACE_OUT"))
+        opts.tracePath = env;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -73,14 +101,23 @@ parseSweepArgs(const std::string &bench_name, int argc, char **argv)
             opts.jsonPath = value("--json");
         } else if (arg.rfind("--json=", 0) == 0) {
             opts.jsonPath = arg.substr(7);
+        } else if (arg == "--trace-out") {
+            opts.tracePath = value("--trace-out");
+        } else if (arg.rfind("--trace-out=", 0) == 0) {
+            opts.tracePath = arg.substr(12);
         } else if (arg == "--help" || arg == "-h") {
             std::printf(
-                "usage: %s [--jobs N] [--json PATH]\n"
-                "  --jobs N     worker threads for the sweep grid\n"
-                "               (default: hardware concurrency;\n"
-                "               env PERSPECTIVE_JOBS)\n"
-                "  --json PATH  emit all sweep results as JSON\n"
-                "               (env PERSPECTIVE_BENCH_JSON)\n",
+                "usage: %s [--jobs N] [--json PATH] "
+                "[--trace-out PATH]\n"
+                "  --jobs N         worker threads for the sweep "
+                "grid\n"
+                "                   (default: hardware concurrency;\n"
+                "                   env PERSPECTIVE_JOBS)\n"
+                "  --json PATH      emit all sweep results as JSON\n"
+                "                   (env PERSPECTIVE_BENCH_JSON)\n"
+                "  --trace-out PATH emit a Chrome trace_event JSON\n"
+                "                   (chrome://tracing, Perfetto; env\n"
+                "                   PERSPECTIVE_TRACE_OUT)\n",
                 bench_name.c_str());
             std::exit(0);
         } else {
@@ -96,23 +133,25 @@ parseSweepArgs(const std::string &bench_name, int argc, char **argv)
 
 SweepRunner::SweepRunner(SweepOptions opts) : opts_(std::move(opts))
 {
-    // Fail fast on an unwritable JSON path — a sweep can run for
-    // hours and must not discover a typo'd --json at emit time.
-    // Append mode probes writability without truncating an
-    // existing result file.
-    if (!opts_.jsonPath.empty()) {
-        std::ofstream probe(opts_.jsonPath, std::ios::app);
-        if (!probe) {
-            std::fprintf(stderr,
-                         "sweep: cannot open '%s' for writing\n",
-                         opts_.jsonPath.c_str());
-            std::exit(2);
-        }
+    if (!opts_.jsonPath.empty())
+        probeWritable(opts_.jsonPath, "--json");
+    if (!opts_.tracePath.empty()) {
+        probeWritable(opts_.tracePath, "--trace-out");
+        traceLog_ = std::make_unique<sim::trace::EventLog>();
+        sim::trace::setEventLog(traceLog_.get());
     }
 
     // jobs == 1 runs inline on the calling thread (pool of 0).
     unsigned n = opts_.effectiveJobs();
     pool_ = std::make_unique<ThreadPool>(n <= 1 ? 0 : n);
+}
+
+SweepRunner::~SweepRunner()
+{
+    // Detach our sink so late pipelines never dangle into freed
+    // memory; leave foreign sinks (another runner's) alone.
+    if (traceLog_ && sim::trace::eventLog() == traceLog_.get())
+        sim::trace::setEventLog(nullptr);
 }
 
 std::vector<CellResult>
@@ -159,8 +198,38 @@ SweepRunner::run(const std::vector<SweepCell> &cells)
     return out;
 }
 
+std::string
+cellConfigHash(const CellResult &r)
+{
+    // FNV-1a 64 over every knob that determines the cell's outcome;
+    // identical configurations hash identically across runs, hosts
+    // and job counts, so bench_report can match cells by this key.
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](const std::string &s) {
+        for (unsigned char c : s) {
+            h ^= c;
+            h *= 1099511628211ull;
+        }
+        h ^= 0x1f; // field separator
+        h *= 1099511628211ull;
+    };
+    mix(r.workload);
+    mix(r.scheme);
+    mix(std::to_string(r.seed));
+    mix(std::to_string(r.iterations));
+    mix(std::to_string(r.warmup));
+    for (const auto &[k, v] : r.tags) {
+        mix(k);
+        mix(v);
+    }
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
 Json
-cellToJson(const CellResult &r)
+cellToJson(const CellResult &r, unsigned jobs)
 {
     Json::Object o;
     o["workload"] = r.workload;
@@ -179,6 +248,15 @@ cellToJson(const CellResult &r)
         o["tags"] = std::move(tags);
     }
 
+    Json::Object prov;
+    prov["workload"] = r.workload;
+    prov["scheme"] = r.scheme;
+    prov["config_hash"] = cellConfigHash(r);
+    prov["git"] = buildGitDescribe();
+    prov["wall_seconds"] = r.wallSeconds;
+    prov["jobs"] = jobs;
+    o["provenance"] = std::move(prov);
+
     const workloads::RunResult &res = r.result;
     o["cycles"] = static_cast<std::uint64_t>(res.cycles);
     o["instructions"] = res.instructions;
@@ -194,6 +272,37 @@ cellToJson(const CellResult &r)
     for (const auto &[name, value] : res.stats.all())
         stats[name] = value;
     o["stats"] = std::move(stats);
+
+    Json::Object hists;
+    for (const auto &[name, h] : res.stats.allHistograms()) {
+        Json::Object hj;
+        hj["count"] = h.count();
+        hj["min"] = h.min();
+        hj["max"] = h.max();
+        hj["mean"] = h.mean();
+        hj["p50"] = h.percentile(50);
+        hj["p90"] = h.percentile(90);
+        hj["p99"] = h.percentile(99);
+        hists[name] = std::move(hj);
+    }
+    o["histograms"] = std::move(hists);
+
+    Json::Object series;
+    for (const auto &[name, ts] : res.stats.allTimeSeries()) {
+        Json::Object sj;
+        sj["interval"] = static_cast<std::uint64_t>(ts.interval());
+        Json::Array cyc, val;
+        cyc.reserve(ts.samples().size());
+        val.reserve(ts.samples().size());
+        for (const auto &[c, v] : ts.samples()) {
+            cyc.emplace_back(static_cast<std::uint64_t>(c));
+            val.emplace_back(v);
+        }
+        sj["cycle"] = std::move(cyc);
+        sj["value"] = std::move(val);
+        series[name] = std::move(sj);
+    }
+    o["timeseries"] = std::move(series);
     return Json(std::move(o));
 }
 
@@ -201,14 +310,15 @@ Json
 SweepRunner::toJson() const
 {
     Json::Object doc;
-    doc["schema"] = std::uint64_t{1};
+    doc["schema"] = std::uint64_t{2};
     doc["bench"] = opts_.benchName;
     doc["jobs"] = jobs();
+    doc["git"] = buildGitDescribe();
     doc["wall_seconds"] = wallSeconds_;
     Json::Array cells;
     cells.reserve(results_.size());
     for (const CellResult &r : results_)
-        cells.push_back(cellToJson(r));
+        cells.push_back(cellToJson(r, jobs()));
     doc["cells"] = std::move(cells);
     return Json(std::move(doc));
 }
@@ -235,6 +345,22 @@ SweepRunner::emitJson() const
                 results_.size(), jobs(), wallSeconds_,
                 opts_.jsonPath.c_str());
     return true;
+}
+
+bool
+SweepRunner::emitTrace() const
+{
+    if (opts_.tracePath.empty())
+        return true;
+    return writeChromeTrace(*traceLog_, opts_.tracePath);
+}
+
+bool
+SweepRunner::emitOutputs() const
+{
+    bool json_ok = emitJson();
+    bool trace_ok = emitTrace();
+    return json_ok && trace_ok;
 }
 
 double

@@ -21,6 +21,7 @@
 
 #include "json.hh"
 #include "pool.hh"
+#include "sim/trace.hh"
 #include "workloads/experiment.hh"
 
 namespace perspective::harness
@@ -70,20 +71,26 @@ struct CellResult
 struct SweepOptions
 {
     std::string benchName;
-    unsigned jobs = 0;    ///< 0 = hardware concurrency
-    std::string jsonPath; ///< empty = no JSON emission
+    unsigned jobs = 0;     ///< 0 = hardware concurrency
+    std::string jsonPath;  ///< empty = no JSON emission
+    std::string tracePath; ///< empty = no Chrome trace emission
 
     /** Effective worker count after defaulting. */
     unsigned effectiveJobs() const;
 };
 
 /**
- * Parse `--jobs N` / `--json PATH` (and `--help`) from argv, with
- * PERSPECTIVE_JOBS / PERSPECTIVE_BENCH_JSON as environment
+ * Parse `--jobs N` / `--json PATH` / `--trace-out PATH` (and
+ * `--help`) from argv, with PERSPECTIVE_JOBS /
+ * PERSPECTIVE_BENCH_JSON / PERSPECTIVE_TRACE_OUT as environment
  * fallbacks. Unknown arguments print usage and exit(2).
  */
 SweepOptions parseSweepArgs(const std::string &bench_name, int argc,
                             char **argv);
+
+/** Build-time `git describe` of this binary ("unknown" outside a
+ * checkout); stamped into every emitted result's provenance. */
+const char *buildGitDescribe();
 
 /**
  * Runs cell grids and accumulates their results. A bench binary may
@@ -123,15 +130,42 @@ class SweepRunner
      */
     bool emitJson() const;
 
+    /**
+     * If a trace path is configured, write the structured event log
+     * there as Chrome trace JSON. No-op (true) when no path is
+     * configured.
+     */
+    bool emitTrace() const;
+
+    /** emitJson() and emitTrace(); false if either failed. */
+    bool emitOutputs() const;
+
+    /** The structured event log backing --trace-out (nullptr when
+     * tracing is off). */
+    sim::trace::EventLog *traceLog() const { return traceLog_.get(); }
+
+    ~SweepRunner();
+
   private:
     SweepOptions opts_;
     std::unique_ptr<ThreadPool> pool_;
+    std::unique_ptr<sim::trace::EventLog> traceLog_;
     std::vector<CellResult> results_;
     double wallSeconds_ = 0;
 };
 
-/** JSON object for one cell result (schema used by emitJson). */
-Json cellToJson(const CellResult &r);
+/**
+ * JSON object for one cell result (schema used by emitJson): raw
+ * metrics, the full counter StatSet, histogram summaries, sampled
+ * time series, and a provenance block (scheme, workload, config
+ * hash, git describe, wall seconds, host jobs).
+ */
+Json cellToJson(const CellResult &r, unsigned jobs);
+
+/** Deterministic FNV-1a hash of a cell's configuration
+ * (workload, scheme, seed, iterations, warmup, tags) as 16 hex
+ * digits; the provenance key bench_report matches cells by. */
+std::string cellConfigHash(const CellResult &r);
 
 /**
  * Geometric mean of @p ratios (the correct aggregate for normalized

@@ -28,6 +28,60 @@ Pipeline::Pipeline(const Program &prog, Memory &mem,
       stackBase_(kDefaultStackBase)
 {
     renameValid_.fill(false);
+
+    // Resolve hot-path stat names once; per-cycle code then bumps
+    // through stable handles instead of string-keyed map lookups.
+    ctrCommitted_ = stats_.counter("committed");
+    ctrCommittedKernel_ = stats_.counter("committed.kernel");
+    ctrFetched_ = stats_.counter("fetched");
+    ctrLoads_ = stats_.counter("loads");
+    ctrLoadsSpec_ = stats_.counter("loads.speculative");
+    ctrLoadsInvisible_ = stats_.counter("loads.invisible");
+    ctrBlockedCycles_ = stats_.counter("blocked_cycles");
+    ctrSquashedUops_ = stats_.counter("squashed_uops");
+    ctrFences_ = stats_.counter("fences");
+    ctrFencesKernel_ = stats_.counter("fences.kernel");
+    ctrMispredicts_ = stats_.counter("mispredicts");
+    ctrSquashes_ = stats_.counter("squashes");
+
+    // Registered up front so every run — even one with no squash or
+    // fence — reports the full set of distribution summaries.
+    histRobOcc_ = &stats_.histogram("rob_occupancy");
+    histFenceStall_ = &stats_.histogram("fence_stall_cycles");
+    histSquashDepth_ = &stats_.histogram("squash_depth");
+    histLoadWait_ = &stats_.histogram("load_issue_wait");
+    tsRobOcc_ = &stats_.timeSeries("rob_occupancy");
+    tsCommitted_ = &stats_.timeSeries("committed");
+    tsFences_ = &stats_.timeSeries("fences");
+}
+
+void
+Pipeline::recordSpan(trace::Flag flag, const RobEntry &e, Cycle start,
+                     const char *suffix)
+{
+    trace::Event ev;
+    ev.flag = flag;
+    ev.start = start;
+    ev.dur = now_ > start ? now_ - start : 0;
+    ev.issue = e.issueCycle;
+    ev.seq = e.seq;
+    ev.kernel = e.kernel;
+    ev.name = e.op->toString();
+    if (suffix)
+        ev.name += suffix;
+    ev.func = prog_.func(e.func).name + "[" +
+              std::to_string(e.idx) + "]";
+    trace::eventLog()->record(std::move(ev));
+}
+
+void
+Pipeline::noteFenceStallEnd(const RobEntry &e)
+{
+    if (!e.counted)
+        return; // never blocked
+    histFenceStall_->sample(now_ - e.blockedSince);
+    if (trace::eventsEnabled())
+        recordSpan(trace::Flag::Fence, e, e.blockedSince);
 }
 
 void
@@ -233,9 +287,10 @@ Pipeline::tryIssueLoad(RobEntry &e)
         if (g == Gate::Block) {
             if (!e.counted) {
                 e.counted = true;
-                stats_.inc("fences");
+                e.blockedSince = now_;
+                ctrFences_.inc();
                 if (e.kernel)
-                    stats_.inc("fences.kernel");
+                    ctrFencesKernel_.inc();
                 if (trace::enabled(trace::Flag::Fence)) {
                     trace::log(trace::Flag::Fence, now_,
                                pol->name() +
@@ -245,12 +300,13 @@ Pipeline::tryIssueLoad(RobEntry &e)
                 }
             }
             e.state = EState::Blocked;
-            stats_.inc("blocked_cycles");
+            ctrBlockedCycles_.inc();
             return false;
         }
         if (g == Gate::AllowInvisible)
             e.invisible = true;
     }
+    noteFenceStallEnd(e);
 
     Cycle lat;
     if (forwarded) {
@@ -264,7 +320,7 @@ Pipeline::tryIssueLoad(RobEntry &e)
         lat = caches_.probeLatency(e.effAddr) +
               (tlb_lat > 1 ? tlb_lat : 0);
         e.result = mem_.read(e.effAddr);
-        stats_.inc("loads.invisible");
+        ctrLoadsInvisible_.inc();
     } else {
         Cycle tlb_lat = dtlb_.translate(e.effAddr, asid_);
         lat = caches_.accessData(e.effAddr, &stats_) +
@@ -272,10 +328,12 @@ Pipeline::tryIssueLoad(RobEntry &e)
         e.result = mem_.read(e.effAddr);
     }
     e.state = EState::Executing;
+    e.issueCycle = now_;
     e.doneCycle = now_ + lat;
-    stats_.inc("loads");
+    histLoadWait_->sample(now_ - e.dispatchCycle);
+    ctrLoads_.inc();
     if (spec)
-        stats_.inc("loads.speculative");
+        ctrLoadsSpec_.inc();
     return true;
 }
 
@@ -294,15 +352,25 @@ Pipeline::rebuildRenameMap()
 void
 Pipeline::squashAfter(std::uint64_t seq)
 {
+    std::uint64_t depth = 0;
+    bool record = trace::eventsEnabled();
     while (!rob_.empty() && rob_.back().seq > seq) {
         RobEntry &victim = rob_.back();
         if (victim.op->op == Op::Load)
             --inflightLoads_;
         else if (victim.op->op == Op::Store)
             --inflightStores_;
-        stats_.inc("squashed_uops");
+        // A policy-blocked victim's stall ends here, by squash.
+        if (victim.state == EState::Blocked)
+            noteFenceStallEnd(victim);
+        if (record)
+            recordSpan(trace::Flag::Squash, victim,
+                       victim.dispatchCycle, " (squashed)");
+        ctrSquashedUops_.inc();
+        ++depth;
         rob_.pop_back();
     }
+    histSquashDepth_->sample(depth);
     if (fetchBlockedOnSeq_ != RobEntry::kNoSeq &&
         fetchBlockedOnSeq_ > seq) {
         fetchBlockedOnSeq_ = RobEntry::kNoSeq;
@@ -388,15 +456,17 @@ Pipeline::resolveControl(RobEntry &e)
                            prog_.func(fetch_.func).name + "[" +
                            std::to_string(fetch_.idx) + "]");
         }
+        if (trace::eventsEnabled())
+            recordSpan(trace::Flag::Squash, e, now_, " (mispredict)");
         fetchStallUntil_ = now_ + params_.mispredictPenalty;
-        stats_.inc("mispredicts");
+        ctrMispredicts_.inc();
         switch (e.op->op) {
           case Op::Branch: stats_.inc("mispredicts.branch"); break;
           case Op::IndirectCall: stats_.inc("mispredicts.icall"); break;
           case Op::Return: stats_.inc("mispredicts.ret"); break;
           default: break;
         }
-        stats_.inc("squashes");
+        ctrSquashes_.inc();
     }
     return mispredict;
 }
@@ -441,9 +511,13 @@ Pipeline::applyCommit(RobEntry &e)
             caches_.accessData(e.effAddr, &stats_);
         --inflightLoads_;
     }
-    stats_.inc("committed");
+    ctrCommitted_.inc();
     if (e.kernel)
-        stats_.inc("committed.kernel");
+        ctrCommittedKernel_.inc();
+    // Structured commit span: the instruction's dispatch-to-commit
+    // lifetime, with its issue cycle in the args.
+    if (trace::eventsEnabled())
+        recordSpan(trace::Flag::Commit, e, e.dispatchCycle);
     if (trace::enabled(trace::Flag::Commit)) {
         trace::log(trace::Flag::Commit, now_,
                    prog_.func(e.func).name + "[" +
@@ -529,6 +603,7 @@ Pipeline::doExecute()
                 caches_.accessData(e.effAddr, &stats_);
         }
         e.state = EState::Executing;
+        e.issueCycle = now_;
         e.doneCycle = now_ + execLatency(e);
         // Control flow resolves no earlier than the pipeline depth
         // past dispatch (fetch/decode/rename/issue stages).
@@ -749,10 +824,19 @@ Pipeline::doFetch()
         }
         rob_.push_back(std::move(e));
         ++n;
-        stats_.inc("fetched");
+        ctrFetched_.inc();
         if (stop_fetch)
             break;
     }
+}
+
+void
+Pipeline::sampleTelemetry()
+{
+    histRobOcc_->sample(rob_.size());
+    tsRobOcc_->tick(now_, rob_.size());
+    tsCommitted_->tick(now_, ctrCommitted_.value());
+    tsFences_->tick(now_, ctrFences_.value());
 }
 
 RunResult
@@ -780,6 +864,7 @@ Pipeline::run(FuncId entry)
             break;
         doExecute();
         doFetch();
+        sampleTelemetry();
         if (now_ - start > params_.maxCycles) {
             throw std::runtime_error(
                 "Pipeline::run exceeded maxCycles; likely deadlock");

@@ -38,6 +38,7 @@
 #include "program.hh"
 #include "stats.hh"
 #include "tlb.hh"
+#include "trace.hh"
 #include "types.hh"
 
 namespace perspective::sim
@@ -157,6 +158,8 @@ class Pipeline
         EState state = EState::Waiting;
         Cycle doneCycle = 0;
         Cycle dispatchCycle = 0;
+        Cycle issueCycle = 0;   ///< when the op entered an FU
+        Cycle blockedSince = 0; ///< first policy-blocked cycle
         std::uint64_t result = 0;
 
         // Operand capture: producer seq (kNoSeq when the value came
@@ -205,6 +208,10 @@ class Pipeline
     Cycle execLatency(const RobEntry &e);
     bool tryIssueLoad(RobEntry &e);
     void applyCommit(RobEntry &e);
+    void noteFenceStallEnd(const RobEntry &e);
+    void recordSpan(trace::Flag flag, const RobEntry &e, Cycle start,
+                    const char *suffix = nullptr);
+    void sampleTelemetry();
     std::uint64_t evalAlu(const RobEntry &e) const;
     bool evalBranch(const RobEntry &e) const;
 
@@ -218,6 +225,32 @@ class Pipeline
     Btb btb_;
     Rsb rsb_;
     StatSet stats_;
+
+    // Cached stat handles for the per-cycle/per-op hot paths (cold
+    // paths keep the name-based StatSet::inc API). Handles survive
+    // StatSet::clear(), so the warmup/measure reset keeps them live.
+    Counter ctrCommitted_;
+    Counter ctrCommittedKernel_;
+    Counter ctrFetched_;
+    Counter ctrLoads_;
+    Counter ctrLoadsSpec_;
+    Counter ctrLoadsInvisible_;
+    Counter ctrBlockedCycles_;
+    Counter ctrSquashedUops_;
+    Counter ctrFences_;
+    Counter ctrFencesKernel_;
+    Counter ctrMispredicts_;
+    Counter ctrSquashes_;
+
+    // Distribution / time-series telemetry (registered once in the
+    // constructor; pointees are stable map nodes inside stats_).
+    Histogram *histRobOcc_ = nullptr;
+    Histogram *histFenceStall_ = nullptr;
+    Histogram *histSquashDepth_ = nullptr;
+    Histogram *histLoadWait_ = nullptr;
+    TimeSeries *tsRobOcc_ = nullptr;
+    TimeSeries *tsCommitted_ = nullptr;
+    TimeSeries *tsFences_ = nullptr;
 
     SpeculationPolicy *policy_ = nullptr;
     UnsafePolicy unsafe_;

@@ -3,7 +3,8 @@
 #include <atomic>
 #include <cstdlib>
 #include <iostream>
-#include <mutex>
+#include <map>
+#include <thread>
 
 namespace perspective::sim::trace
 {
@@ -13,11 +14,15 @@ namespace
 
 // The only mutable globals in the simulator. Concurrent Experiment
 // instances (the sweep runner's worker threads) all consult
-// enabled() on the hot path, so flag and stream state are atomics,
-// and emission is serialized so lines never interleave mid-record.
+// enabled() on the hot path, so flag, stream and sink state are
+// atomics, and emission is serialized so lines never interleave
+// mid-record.
 std::atomic<std::uint32_t> g_flags{0};
 std::atomic<std::ostream *> g_stream{nullptr};
+std::atomic<EventLog *> g_events{nullptr};
 std::mutex g_log_mu;
+
+} // namespace
 
 const char *
 flagName(Flag f)
@@ -31,8 +36,6 @@ flagName(Flag f)
     }
     return "?";
 }
-
-} // namespace
 
 void
 enable(Flag f)
@@ -51,6 +54,16 @@ disable(Flag f)
 void
 reset()
 {
+    // Flush the outgoing stream before dropping it: a short traced
+    // run's tail lines may still sit in the stream's buffer, and
+    // once the pointer is gone nobody else will flush on our behalf.
+    // Serialized with log() so we never flush mid-record.
+    {
+        std::lock_guard<std::mutex> lk(g_log_mu);
+        if (std::ostream *os =
+                g_stream.load(std::memory_order_acquire))
+            os->flush();
+    }
     g_flags.store(0, std::memory_order_relaxed);
     g_stream.store(nullptr, std::memory_order_relaxed);
 }
@@ -102,10 +115,78 @@ setStream(std::ostream *os)
 void
 log(Flag f, Cycle cycle, const std::string &message)
 {
+    std::lock_guard<std::mutex> lk(g_log_mu);
     std::ostream *custom = g_stream.load(std::memory_order_acquire);
     std::ostream &os = custom ? *custom : std::cerr;
-    std::lock_guard<std::mutex> lk(g_log_mu);
     os << cycle << ": " << flagName(f) << ": " << message << "\n";
+}
+
+// ---- structured event sink -----------------------------------------
+
+void
+EventLog::record(Event ev)
+{
+    // Lane ids are small stable per-thread integers so a parallel
+    // sweep's cells render as separate tracks in chrome://tracing.
+    thread_local std::map<const EventLog *, unsigned> lanes;
+
+    std::lock_guard<std::mutex> lk(mu_);
+    if (events_.size() >= capacity_) {
+        ++dropped_;
+        return;
+    }
+    auto it = lanes.find(this);
+    if (it == lanes.end())
+        it = lanes.emplace(this, nextLane_++).first;
+    ev.lane = it->second;
+    events_.push_back(std::move(ev));
+}
+
+std::vector<Event>
+EventLog::snapshot() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return events_;
+}
+
+std::size_t
+EventLog::size() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return events_.size();
+}
+
+std::uint64_t
+EventLog::dropped() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return dropped_;
+}
+
+void
+EventLog::clear()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    events_.clear();
+    dropped_ = 0;
+}
+
+void
+setEventLog(EventLog *log)
+{
+    g_events.store(log, std::memory_order_release);
+}
+
+EventLog *
+eventLog()
+{
+    return g_events.load(std::memory_order_acquire);
+}
+
+bool
+eventsEnabled()
+{
+    return g_events.load(std::memory_order_relaxed) != nullptr;
 }
 
 } // namespace perspective::sim::trace

@@ -1,18 +1,27 @@
 /**
  * @file
- * Lightweight debug tracing, in the spirit of gem5's debug flags:
- * named categories that can be switched on at runtime (or through the
- * PERSPECTIVE_TRACE environment variable, comma-separated), each
- * emitting one line per event to a configurable stream. All logging
- * is compiled in but costs a single branch when disabled.
+ * Debug tracing, in the spirit of gem5's debug flags, with two sinks:
+ *
+ *  - a text sink: named categories that can be switched on at runtime
+ *    (or through the PERSPECTIVE_TRACE environment variable,
+ *    comma-separated), each emitting one line per event to a
+ *    configurable stream;
+ *  - a structured sink (EventLog): when installed, the pipeline
+ *    records typed span/instant events (fetch-to-commit spans,
+ *    squashes, fence stalls) that the harness can serialize as Chrome
+ *    trace_event JSON for chrome://tracing / Perfetto.
+ *
+ * All logging is compiled in but costs a single branch when disabled.
  */
 
 #ifndef PERSPECTIVE_SIM_TRACE_HH
 #define PERSPECTIVE_SIM_TRACE_HH
 
 #include <cstdint>
+#include <mutex>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "types.hh"
 
@@ -29,13 +38,20 @@ enum class Flag : std::uint32_t
     Predict = 1u << 4, ///< BTB/RSB/conditional predictions
 };
 
+/** Lower-case name of @p f ("fetch", "commit", ...). */
+const char *flagName(Flag f);
+
 /** Enable one category. */
 void enable(Flag f);
 
 /** Disable one category. */
 void disable(Flag f);
 
-/** Disable everything and restore the default stream. */
+/**
+ * Disable everything and restore the default stream. The outgoing
+ * stream is flushed (under the emission lock) before being dropped so
+ * short traced runs never lose buffered tail lines.
+ */
 void reset();
 
 /** True when @p f is enabled (the fast-path check). */
@@ -55,6 +71,76 @@ void setStream(std::ostream *os);
 
 /** Emit one line: "<cycle>: <tag>: <message>". */
 void log(Flag f, Cycle cycle, const std::string &message);
+
+// ---- structured event sink -----------------------------------------
+
+/**
+ * One structured trace event. @p dur == 0 marks an instant event
+ * (a squash point); otherwise the event is a [start, start+dur) span
+ * in simulated cycles (an instruction's dispatch-to-commit lifetime
+ * or a fence-stall window).
+ */
+struct Event
+{
+    Flag flag = Flag::Commit; ///< category
+    Cycle start = 0;          ///< span start (simulated cycle)
+    Cycle dur = 0;            ///< span length; 0 = instant event
+    Cycle issue = 0;          ///< issue cycle within the span, if any
+    std::uint64_t seq = 0;    ///< pipeline sequence number
+    unsigned lane = 0;        ///< recording thread lane (sweep cells)
+    bool kernel = false;
+    std::string name;         ///< op or event description
+    std::string func;         ///< containing simulated function
+};
+
+/**
+ * A bounded, thread-safe collector of structured events. Each
+ * recording thread is assigned a small stable lane id (Chrome trace
+ * "tid"), so a parallel sweep's cells land on separate tracks. Past
+ * @p capacity, events are dropped and counted rather than growing
+ * without bound — a full lebench sweep commits tens of millions of
+ * micro-ops.
+ */
+class EventLog
+{
+  public:
+    static constexpr std::size_t kDefaultCapacity = 100'000;
+
+    explicit EventLog(std::size_t capacity = kDefaultCapacity)
+        : capacity_(capacity)
+    {
+    }
+
+    /** Append @p ev (fills Event::lane); drops when full. */
+    void record(Event ev);
+
+    /** Copy of everything recorded so far. */
+    std::vector<Event> snapshot() const;
+
+    std::size_t size() const;
+    std::uint64_t dropped() const;
+
+    void clear();
+
+  private:
+    mutable std::mutex mu_;
+    std::size_t capacity_;
+    std::vector<Event> events_;
+    std::uint64_t dropped_ = 0;
+    unsigned nextLane_ = 0;
+};
+
+/**
+ * Install @p log as the global structured sink (nullptr detaches).
+ * The caller keeps ownership and must outlive any traced run.
+ */
+void setEventLog(EventLog *log);
+
+/** The installed sink, or nullptr. */
+EventLog *eventLog();
+
+/** Fast-path check: is a structured sink installed? */
+bool eventsEnabled();
 
 } // namespace perspective::sim::trace
 

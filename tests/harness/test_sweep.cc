@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
+#include <fstream>
 #include <set>
+#include <sstream>
 #include <stdexcept>
 
+#include "harness/chrome_trace.hh"
 #include "harness/json.hh"
 #include "harness/pool.hh"
 #include "harness/sweep.hh"
@@ -192,7 +196,8 @@ TEST(Sweep, JsonEmissionRoundTripsCounters)
 
     Json doc = Json::parse(runner.toJson().dump(2));
     EXPECT_EQ(doc.at("bench").asString(), "test_sweep");
-    EXPECT_EQ(doc.at("schema").asUint(), 1u);
+    EXPECT_EQ(doc.at("schema").asUint(), 2u);
+    EXPECT_FALSE(doc.at("git").asString().empty());
     const auto &cells = doc.at("cells").asArray();
     ASSERT_EQ(cells.size(), rs.size());
     for (std::size_t i = 0; i < rs.size(); ++i) {
@@ -209,6 +214,125 @@ TEST(Sweep, JsonEmissionRoundTripsCounters)
         for (const auto &[name, value] : rs[i].result.stats.all())
             EXPECT_EQ(stats.at(name).asUint(), value) << name;
     }
+}
+
+TEST(Sweep, EveryCellCarriesProvenanceAndTelemetry)
+{
+    SweepRunner runner(optsWithJobs(2));
+    runner.run(smallGrid());
+    Json doc = Json::parse(runner.toJson().dump(2));
+    for (const Json &c : doc.at("cells").asArray()) {
+        const Json &p = c.at("provenance");
+        EXPECT_EQ(p.at("workload").asString(),
+                  c.at("workload").asString());
+        EXPECT_EQ(p.at("scheme").asString(),
+                  c.at("scheme").asString());
+        EXPECT_EQ(p.at("config_hash").asString().size(), 16u);
+        EXPECT_FALSE(p.at("git").asString().empty());
+        EXPECT_GE(p.at("wall_seconds").asDouble(), 0.0);
+        EXPECT_EQ(p.at("jobs").asUint(), 2u);
+
+        // The acceptance floor: at least three histogram summaries
+        // per cell, each with the full summary shape.
+        const auto &hists = c.at("histograms").asObject();
+        for (const char *name :
+             {"rob_occupancy", "fence_stall_cycles", "squash_depth"})
+            ASSERT_TRUE(hists.count(name)) << name;
+        for (const auto &[name, h] : hists) {
+            EXPECT_TRUE(h.contains("count")) << name;
+            EXPECT_TRUE(h.contains("mean")) << name;
+            EXPECT_TRUE(h.contains("p50")) << name;
+            EXPECT_TRUE(h.contains("p99")) << name;
+        }
+        EXPECT_GT(hists.at("rob_occupancy").at("count").asUint(),
+                  0u);
+
+        // Time series: parallel cycle/value arrays of equal length.
+        for (const auto &[name, s] : c.at("timeseries").asObject())
+            EXPECT_EQ(s.at("cycle").asArray().size(),
+                      s.at("value").asArray().size())
+                << name;
+    }
+}
+
+TEST(Sweep, ConfigHashKeysCellsStably)
+{
+    CellResult a;
+    a.workload = "getpid";
+    a.scheme = "unsafe";
+    a.seed = 1;
+    a.iterations = 4;
+    a.warmup = 1;
+    CellResult b = a;
+    EXPECT_EQ(cellConfigHash(a), cellConfigHash(b));
+    EXPECT_EQ(cellConfigHash(a).size(), 16u);
+
+    b.seed = 2;
+    EXPECT_NE(cellConfigHash(a), cellConfigHash(b));
+    b = a;
+    b.tags["variant"] = "x";
+    EXPECT_NE(cellConfigHash(a), cellConfigHash(b));
+    // Results do not feed the hash — only configuration does.
+    b = a;
+    b.result.instructions = 999;
+    EXPECT_EQ(cellConfigHash(a), cellConfigHash(b));
+}
+
+TEST(Sweep, ChromeTraceJsonHasValidEventShape)
+{
+    sim::trace::EventLog log;
+    sim::trace::Event span;
+    span.flag = sim::trace::Flag::Commit;
+    span.start = 10;
+    span.dur = 5;
+    span.seq = 1;
+    span.name = "load r3";
+    span.func = "getpid[0]";
+    log.record(span);
+    sim::trace::Event instant;
+    instant.flag = sim::trace::Flag::Squash;
+    instant.start = 20;
+    instant.seq = 2;
+    instant.name = "branch (mispredict)";
+    log.record(instant);
+
+    Json doc = Json::parse(chromeTraceJson(log).dump(1));
+    const auto &events = doc.at("traceEvents").asArray();
+    ASSERT_EQ(events.size(), 2u);
+    const Json &e0 = events[0];
+    EXPECT_EQ(e0.at("ph").asString(), "X");
+    EXPECT_EQ(e0.at("ts").asUint(), 10u);
+    EXPECT_EQ(e0.at("dur").asUint(), 5u);
+    EXPECT_EQ(e0.at("cat").asString(), "commit");
+    EXPECT_GE(e0.at("tid").asUint(), 1u);
+    const Json &e1 = events[1];
+    EXPECT_EQ(e1.at("ph").asString(), "i");
+    EXPECT_EQ(e1.at("s").asString(), "t");
+    EXPECT_FALSE(e1.contains("dur"));
+    EXPECT_EQ(doc.at("otherData").at("dropped_events").asUint(), 0u);
+}
+
+TEST(Sweep, TraceLogCapturesSweepWhenRequested)
+{
+    std::string path = ::testing::TempDir() + "sweep_trace.json";
+    SweepOptions o = optsWithJobs(2);
+    o.tracePath = path;
+    {
+        SweepRunner runner(o);
+        ASSERT_NE(sim::trace::eventLog(), nullptr);
+        runner.run(smallGrid());
+        EXPECT_TRUE(runner.emitTrace());
+        EXPECT_GT(runner.traceLog()->size(), 0u);
+    }
+    // Destroying the runner detaches the global sink.
+    EXPECT_EQ(sim::trace::eventLog(), nullptr);
+
+    std::ifstream in(path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    Json doc = Json::parse(buf.str());
+    EXPECT_FALSE(doc.at("traceEvents").asArray().empty());
+    std::remove(path.c_str());
 }
 
 TEST(Sweep, GeomeanIsGeometric)

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "sim/memory.hh"
@@ -14,7 +16,18 @@ namespace
 
 struct TraceFixture : ::testing::Test
 {
-    ~TraceFixture() override { trace::reset(); }
+    // Streams live in the fixture so they outlive the reset() in the
+    // destructor body: reset() flushes the attached stream before
+    // dropping it, so a local stream destroyed at the end of a test
+    // body would dangle.
+    std::ostringstream os;
+    std::ostringstream os2;
+
+    ~TraceFixture() override
+    {
+        trace::setEventLog(nullptr);
+        trace::reset();
+    }
 };
 
 RunResult
@@ -39,7 +52,6 @@ TEST_F(TraceFixture, DisabledByDefault)
 
 TEST_F(TraceFixture, CommitTraceListsRetiringOps)
 {
-    std::ostringstream os;
     trace::setStream(&os);
     trace::enable(trace::Flag::Commit);
     runTinyProgram();
@@ -51,7 +63,6 @@ TEST_F(TraceFixture, CommitTraceListsRetiringOps)
 
 TEST_F(TraceFixture, FlagsAreIndependent)
 {
-    std::ostringstream os;
     trace::setStream(&os);
     trace::enable(trace::Flag::Squash);
     runTinyProgram(); // straight-line: no squashes
@@ -75,7 +86,6 @@ TEST_F(TraceFixture, UnknownNamesIgnored)
 
 TEST_F(TraceFixture, DisableStopsOutput)
 {
-    std::ostringstream os;
     trace::setStream(&os);
     trace::enable(trace::Flag::Commit);
     trace::disable(trace::Flag::Commit);
@@ -101,7 +111,7 @@ TEST_F(TraceFixture, FetchTraceIncludesWrongPath)
     prog.layout();
     Pipeline cpu(prog, mem);
 
-    std::ostringstream fetches, commits;
+    std::ostringstream &fetches = os, &commits = os2;
     trace::setStream(&fetches);
     trace::enable(trace::Flag::Fetch);
     cpu.run(f);
@@ -119,4 +129,73 @@ TEST_F(TraceFixture, FetchTraceIncludesWrongPath)
     };
     EXPECT_GE(count(fetches.str(), "spec["),
               count(commits.str(), "spec["));
+}
+
+TEST_F(TraceFixture, ResetFlushesTheOutgoingStream)
+{
+    // Regression test: reset() must flush the stream it is about to
+    // drop, or a short traced run loses its buffered tail when the
+    // caller still holds the (unflushed) file open.
+    std::string path = ::testing::TempDir() + "trace_flush.txt";
+    std::ofstream file(path);
+    ASSERT_TRUE(file.is_open());
+    trace::setStream(&file);
+    trace::enable(trace::Flag::Commit);
+    trace::log(trace::Flag::Commit, 1, "tail line");
+    trace::reset(); // must flush before dropping the stream
+
+    std::ifstream in(path);
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    EXPECT_NE(contents.find("tail line"), std::string::npos);
+    file.close();
+    std::remove(path.c_str());
+}
+
+TEST_F(TraceFixture, EventLogRecordsCommitSpans)
+{
+    trace::EventLog log;
+    trace::setEventLog(&log);
+    EXPECT_TRUE(trace::eventsEnabled());
+    runTinyProgram();
+    trace::setEventLog(nullptr);
+
+    auto events = log.snapshot();
+    ASSERT_FALSE(events.empty());
+    EXPECT_EQ(log.dropped(), 0u);
+    bool saw_ret = false;
+    for (const trace::Event &ev : events) {
+        if (ev.flag != trace::Flag::Commit)
+            continue;
+        EXPECT_GT(ev.dur, 0u) << "commit events are spans";
+        EXPECT_EQ(ev.func.rfind("tiny[", 0), 0u) << ev.func;
+        if (ev.name.find("ret") != std::string::npos)
+            saw_ret = true;
+    }
+    EXPECT_TRUE(saw_ret);
+}
+
+TEST_F(TraceFixture, EventLogDropsPastCapacityAndCounts)
+{
+    trace::EventLog log(4);
+    for (int i = 0; i < 10; ++i) {
+        trace::Event ev;
+        ev.seq = static_cast<std::uint64_t>(i);
+        log.record(std::move(ev));
+    }
+    EXPECT_EQ(log.size(), 4u);
+    EXPECT_EQ(log.dropped(), 6u);
+    log.clear();
+    EXPECT_EQ(log.size(), 0u);
+    EXPECT_EQ(log.dropped(), 0u);
+}
+
+TEST_F(TraceFixture, EventLogDetachedMeansNoRecording)
+{
+    trace::EventLog log;
+    trace::setEventLog(&log);
+    trace::setEventLog(nullptr);
+    EXPECT_FALSE(trace::eventsEnabled());
+    runTinyProgram();
+    EXPECT_EQ(log.size(), 0u);
 }

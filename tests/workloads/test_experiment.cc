@@ -149,6 +149,58 @@ TEST(Experiment, WarmupDoesNotPolluteMeasuredCounters)
     EXPECT_GT(rw.instructions, 0u);
 }
 
+TEST(Experiment, TelemetrySurvivesWarmupReset)
+{
+    // The telemetry registered in the Pipeline constructor (histogram
+    // and time-series handles) must survive the stats clear between
+    // warmup and measurement: a warmed-up run reports the same
+    // measured histogram populations as a cold run of the same
+    // length, and the histograms are present (non-empty) either way.
+    Experiment cold(redisProfile(), Scheme::Perspective);
+    Experiment warm(redisProfile(), Scheme::Perspective);
+    auto rc = cold.run(5, 0);
+    auto rw = warm.run(5, 3);
+
+    for (const char *name :
+         {"rob_occupancy", "fence_stall_cycles", "squash_depth",
+          "load_issue_wait"}) {
+        ASSERT_TRUE(rc.stats.allHistograms().count(name)) << name;
+        ASSERT_TRUE(rw.stats.allHistograms().count(name)) << name;
+    }
+    EXPECT_GT(
+        rw.stats.allHistograms().at("rob_occupancy").count(), 0u);
+    EXPECT_GT(
+        rw.stats.allHistograms().at("load_issue_wait").count(), 0u);
+
+    // Issue-time distributions cover wrong-path work too, so cold vs
+    // warm populations differ; two identical warmed-up runs must
+    // agree exactly (telemetry is deterministic).
+    Experiment warm2(redisProfile(), Scheme::Perspective);
+    auto rw2 = warm2.run(5, 3);
+    const auto &ha = rw.stats.allHistograms().at("load_issue_wait");
+    const auto &hb = rw2.stats.allHistograms().at("load_issue_wait");
+    EXPECT_EQ(ha.count(), hb.count());
+    EXPECT_DOUBLE_EQ(ha.mean(), hb.mean());
+
+    // Time series registered up front are present and bounded.
+    for (const char *name : {"rob_occupancy", "committed", "fences"}) {
+        ASSERT_TRUE(rw.stats.allTimeSeries().count(name)) << name;
+        EXPECT_LT(rw.stats.allTimeSeries().at(name).samples().size(),
+                  sim::TimeSeries::kMaxSamples);
+    }
+}
+
+TEST(Experiment, ViewCacheMissBurstsAreRecorded)
+{
+    // PerspectivePolicy samples completed ISV/DSV miss-run lengths;
+    // a cold run with real misses must record at least one burst.
+    Experiment e(nginxProfile(), Scheme::Perspective);
+    auto r = e.run(10, 0);
+    ASSERT_TRUE(r.stats.allHistograms().count("isv_miss_burst"));
+    EXPECT_GT(r.stats.allHistograms().at("isv_miss_burst").count(),
+              0u);
+}
+
 TEST(Experiment, HitRatesCoverOnlyMeasuredPhase)
 {
     // After the warmup/measurement split, the ISV/DSV hit rates in
