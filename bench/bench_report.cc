@@ -12,6 +12,16 @@
  *   bench_report out.json --baseline base.json --check
  *       # exit 1 if any delta is non-zero (CI regression gate;
  *       # two runs of the same build must agree exactly)
+ *
+ * Throughput is reported separately from the deterministic metrics:
+ * every summary and delta row carries a MIPS column (simulated
+ * instructions / cell wall seconds), and --perf-baseline gates on
+ * aggregate throughput with a tolerance (--perf-threshold, default
+ * 0.80) instead of exact equality, because wall clock is noisy where
+ * cycle counts are not.
+ *
+ *   bench_report out.json --perf-baseline base.json
+ *       # exit 1 if aggregate MIPS < 0.80x the baseline's
  */
 
 #include <cstdint>
@@ -41,6 +51,8 @@ struct Cell
     std::uint64_t cycles = 0;
     std::uint64_t instructions = 0;
     std::uint64_t fences = 0;
+    double wallSeconds = 0;
+    double mips = 0; ///< instructions / wallSeconds / 1e6
 };
 
 struct SweepFile
@@ -93,6 +105,13 @@ loadSweep(const std::string &path)
         c.cycles = uintOr0(cj, "cycles");
         c.instructions = uintOr0(cj, "instructions");
         c.fences = uintOr0(cj, "fences");
+        if (cj.contains("wall_seconds"))
+            c.wallSeconds = cj.at("wall_seconds").asDouble();
+        if (cj.contains("mips") && cj.at("mips").isNumber())
+            c.mips = cj.at("mips").asDouble();
+        else if (c.wallSeconds > 0) // pre-"mips" files
+            c.mips = static_cast<double>(c.instructions) /
+                     c.wallSeconds / 1e6;
         std::string hash =
             cj.contains("provenance")
                 ? cj.at("provenance").at("config_hash").asString()
@@ -104,6 +123,21 @@ loadSweep(const std::string &path)
     return f;
 }
 
+/** Aggregate throughput: total simulated instructions of the
+ * successful cells over the sweep's wall-clock seconds, in millions
+ * of instructions per second. 0 when the file carries no timing. */
+double
+aggregateMips(const SweepFile &f)
+{
+    if (f.wallSeconds <= 0)
+        return 0;
+    std::uint64_t instructions = 0;
+    for (const Cell &c : f.cells)
+        if (c.ok)
+            instructions += c.instructions;
+    return static_cast<double>(instructions) / f.wallSeconds / 1e6;
+}
+
 void
 summarize(const SweepFile &f)
 {
@@ -111,12 +145,12 @@ summarize(const SweepFile &f)
     for (const Cell &c : f.cells)
         failed += c.ok ? 0 : 1;
     std::printf("%s: bench=%s git=%s cells=%zu failed=%llu "
-                "wall=%.2fs\n",
+                "wall=%.2fs mips=%.2f\n",
                 f.path.c_str(), f.bench.c_str(),
                 f.git.empty() ? "?" : f.git.c_str(),
                 f.cells.size(),
                 static_cast<unsigned long long>(failed),
-                f.wallSeconds);
+                f.wallSeconds, aggregateMips(f));
 }
 
 /** Signed delta column: "+12345" / "0". */
@@ -139,8 +173,9 @@ compare(const SweepFile &now, const SweepFile &base, bool verbose)
         baseByKey[c.key] = &c;
 
     unsigned diffs = 0, unmatched = 0;
-    std::printf("\n%-14s %-20s %14s %14s %10s\n", "workload",
-                "scheme", "d(cycles)", "d(insts)", "d(fences)");
+    std::printf("\n%-14s %-20s %14s %14s %10s %8s %8s\n", "workload",
+                "scheme", "d(cycles)", "d(insts)", "d(fences)",
+                "mips", "speedup");
     for (const Cell &c : now.cells) {
         auto it = baseByKey.find(c.key);
         if (it == baseByKey.end()) {
@@ -158,16 +193,53 @@ compare(const SweepFile &now, const SweepFile &base, bool verbose)
             ++diffs;
         if (same && !verbose)
             continue;
-        std::printf("%-14s %-20s %14s %14s %10s\n",
+        // Throughput is informational here: wall clock is noisy, so
+        // it never counts toward --check (use --perf-baseline for a
+        // tolerance-based gate).
+        char speedup[16] = "-";
+        if (b.mips > 0 && c.mips > 0)
+            std::snprintf(speedup, sizeof speedup, "%.2fx",
+                          c.mips / b.mips);
+        std::printf("%-14s %-20s %14s %14s %10s %8.2f %8s\n",
                     c.workload.c_str(), c.scheme.c_str(),
                     delta(c.cycles, b.cycles).c_str(),
                     delta(c.instructions, b.instructions).c_str(),
-                    delta(c.fences, b.fences).c_str());
+                    delta(c.fences, b.fences).c_str(), c.mips,
+                    speedup);
     }
     std::printf("\n%u of %zu cells differ from baseline"
                 " (%u unmatched)\n",
                 diffs, now.cells.size(), unmatched);
     return diffs + unmatched;
+}
+
+/**
+ * Aggregate-throughput gate: each input must sustain at least
+ * @p threshold x the baseline's MIPS. Returns the number of files
+ * that fail (missing timing on either side is a failure too — a
+ * silent pass would mask a broken perf pipeline).
+ */
+unsigned
+perfCompare(const std::vector<SweepFile> &inputs,
+            const SweepFile &base, double threshold)
+{
+    double baseMips = aggregateMips(base);
+    std::printf("\nperf baseline: %s mips=%.2f (threshold %.2fx "
+                "=> require >= %.2f)\n",
+                base.path.c_str(), baseMips, threshold,
+                baseMips * threshold);
+    unsigned failures = 0;
+    for (const SweepFile &f : inputs) {
+        double mips = aggregateMips(f);
+        bool ok = baseMips > 0 && mips >= baseMips * threshold;
+        if (!ok)
+            ++failures;
+        std::printf("  %-40s mips=%8.2f  %6.2fx  %s\n",
+                    f.path.c_str(), mips,
+                    baseMips > 0 ? mips / baseMips : 0.0,
+                    ok ? "ok" : "FAIL");
+    }
+    return failures;
 }
 
 void
@@ -176,10 +248,17 @@ usage(int code)
     std::printf(
         "usage: bench_report FILE.json [FILE2.json ...]\n"
         "           [--baseline BASE.json] [--check] [--verbose]\n"
-        "  --baseline F  per-cell delta of every input against F\n"
-        "  --check       exit 1 if any cell differs from the\n"
-        "                baseline (regression gate)\n"
-        "  --verbose     list identical cells too\n");
+        "           [--perf-baseline BASE.json] "
+        "[--perf-threshold R]\n"
+        "  --baseline F       per-cell delta of every input against"
+        " F\n"
+        "  --check            exit 1 if any cell differs from the\n"
+        "                     baseline (regression gate)\n"
+        "  --verbose          list identical cells too\n"
+        "  --perf-baseline F  exit 1 if any input's aggregate MIPS\n"
+        "                     falls below R x F's (timing gate)\n"
+        "  --perf-threshold R minimum allowed MIPS ratio "
+        "(default 0.80)\n");
     std::exit(code);
 }
 
@@ -189,7 +268,8 @@ int
 main(int argc, char **argv)
 {
     std::vector<std::string> inputs;
-    std::string baselinePath;
+    std::string baselinePath, perfBaselinePath;
+    double perfThreshold = 0.80;
     bool check = false, verbose = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -200,6 +280,18 @@ main(int argc, char **argv)
             baselinePath = argv[++i];
         } else if (arg.rfind("--baseline=", 0) == 0) {
             baselinePath = arg.substr(11);
+        } else if (arg == "--perf-baseline") {
+            if (i + 1 >= argc)
+                usage(2);
+            perfBaselinePath = argv[++i];
+        } else if (arg.rfind("--perf-baseline=", 0) == 0) {
+            perfBaselinePath = arg.substr(16);
+        } else if (arg == "--perf-threshold") {
+            if (i + 1 >= argc)
+                usage(2);
+            perfThreshold = std::atof(argv[++i]);
+        } else if (arg.rfind("--perf-threshold=", 0) == 0) {
+            perfThreshold = std::atof(arg.substr(17).c_str());
         } else if (arg == "--check") {
             check = true;
         } else if (arg == "--verbose") {
@@ -223,22 +315,45 @@ main(int argc, char **argv)
         return 2;
     }
 
-    unsigned total_diffs = 0;
+    if (perfThreshold <= 0) {
+        std::fprintf(stderr,
+                     "bench_report: --perf-threshold must be > 0\n");
+        return 2;
+    }
+
+    std::vector<SweepFile> files;
+    files.reserve(inputs.size());
     for (const std::string &path : inputs)
-        summarize(loadSweep(path));
+        files.push_back(loadSweep(path));
+
+    unsigned total_diffs = 0;
+    for (const SweepFile &f : files)
+        summarize(f);
 
     if (!baselinePath.empty()) {
         SweepFile base = loadSweep(baselinePath);
         std::printf("\nbaseline: ");
         summarize(base);
-        for (const std::string &path : inputs)
-            total_diffs += compare(loadSweep(path), base, verbose);
+        for (const SweepFile &f : files)
+            total_diffs += compare(f, base, verbose);
     }
+
+    unsigned perf_failures = 0;
+    if (!perfBaselinePath.empty())
+        perf_failures = perfCompare(files, loadSweep(perfBaselinePath),
+                                    perfThreshold);
 
     if (check && total_diffs > 0) {
         std::fprintf(stderr,
                      "bench_report: FAIL — %u differing cell(s)\n",
                      total_diffs);
+        return 1;
+    }
+    if (perf_failures > 0) {
+        std::fprintf(stderr,
+                     "bench_report: FAIL — %u file(s) below the "
+                     "performance threshold\n",
+                     perf_failures);
         return 1;
     }
     return 0;

@@ -88,6 +88,14 @@ class PerspectivePolicy : public sim::SpeculationPolicy
 
     const PerspectiveConfig &config() const { return cfg_; }
 
+    /** Lookup-structure and context checkpoint. The ownership
+     * listener wired at construction is identity, not state, and
+     * survives restore untouched. */
+    struct Snapshot;
+
+    Snapshot snapshot() const;
+    void restore(const Snapshot &s);
+
   private:
     struct Context
     {
@@ -115,6 +123,36 @@ class PerspectivePolicy : public sim::SpeculationPolicy
     std::uint64_t isvMissRun_ = 0;
     std::uint64_t dsvMissRun_ = 0;
 };
+
+struct PerspectivePolicy::Snapshot
+{
+    IsvCache isvCache;
+    DsvCache dsvCache;
+    std::unordered_map<sim::Asid, Context> contexts;
+    std::unordered_map<kernel::DomainId, Dsvmt> dsvmts;
+    sim::Asid lastAsid = 0;
+    std::uint64_t isvMissRun = 0;
+    std::uint64_t dsvMissRun = 0;
+};
+
+inline PerspectivePolicy::Snapshot
+PerspectivePolicy::snapshot() const
+{
+    return {isvCache_, dsvCache_, contexts_, dsvmts_,
+            lastAsid_,  isvMissRun_, dsvMissRun_};
+}
+
+inline void
+PerspectivePolicy::restore(const Snapshot &s)
+{
+    isvCache_ = s.isvCache;
+    dsvCache_ = s.dsvCache;
+    contexts_ = s.contexts;
+    dsvmts_ = s.dsvmts;
+    lastAsid_ = s.lastAsid;
+    isvMissRun_ = s.isvMissRun;
+    dsvMissRun_ = s.dsvMissRun;
+}
 
 } // namespace perspective::core
 

@@ -260,6 +260,14 @@ cellToJson(const CellResult &r, unsigned jobs)
     const workloads::RunResult &res = r.result;
     o["cycles"] = static_cast<std::uint64_t>(res.cycles);
     o["instructions"] = res.instructions;
+    // Simulation throughput: measured (post-warmup) simulated
+    // instructions per wall second, in millions. The denominator is
+    // the whole cell (boot + warmup included), so this is end-to-end
+    // harness throughput, not a pure inner-loop rate.
+    o["mips"] = r.wallSeconds > 0
+                    ? static_cast<double>(res.instructions) /
+                          r.wallSeconds / 1e6
+                    : 0.0;
     o["kernel_instructions"] = res.kernelInstructions;
     o["kernel_fraction"] = res.kernelFraction();
     o["fences"] = res.fences;

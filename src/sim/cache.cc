@@ -25,18 +25,33 @@ Cache::tagOf(Addr addr) const
     return addr / params_.line_bytes;
 }
 
-bool
-Cache::access(Addr addr)
+const Cache::Line *
+Cache::findLine(Addr addr) const
 {
     std::uint64_t set = lineIndex(addr);
     std::uint64_t tag = tagOf(addr);
+    const Line *base = &lines_[set * params_.assoc];
     for (std::uint32_t w = 0; w < params_.assoc; ++w) {
-        Line &line = lines_[set * params_.assoc + w];
-        if (line.valid && line.tag == tag) {
-            line.lru = ++useClock_;
-            ++hits_;
-            return true;
-        }
+        if (base[w].valid && base[w].tag == tag)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+Cache::Line *
+Cache::findLine(Addr addr)
+{
+    return const_cast<Line *>(
+        static_cast<const Cache *>(this)->findLine(addr));
+}
+
+bool
+Cache::access(Addr addr)
+{
+    if (Line *line = findLine(addr)) {
+        line->lru = ++useClock_;
+        ++hits_;
+        return true;
     }
     ++misses_;
     return false;
@@ -45,28 +60,20 @@ Cache::access(Addr addr)
 bool
 Cache::probe(Addr addr) const
 {
-    std::uint64_t set = lineIndex(addr);
-    std::uint64_t tag = tagOf(addr);
-    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
-        const Line &line = lines_[set * params_.assoc + w];
-        if (line.valid && line.tag == tag)
-            return true;
-    }
-    return false;
+    return findLine(addr) != nullptr;
 }
 
 void
 Cache::fill(Addr addr)
 {
+    if (Line *line = findLine(addr)) {
+        line->lru = ++useClock_;
+        return; // already present
+    }
     std::uint64_t set = lineIndex(addr);
-    std::uint64_t tag = tagOf(addr);
     Line *victim = nullptr;
     for (std::uint32_t w = 0; w < params_.assoc; ++w) {
         Line &line = lines_[set * params_.assoc + w];
-        if (line.valid && line.tag == tag) {
-            line.lru = ++useClock_;
-            return; // already present
-        }
         // Prefer an invalid way; otherwise the least recently used.
         if (!victim || (victim->valid &&
                         (!line.valid || line.lru < victim->lru))) {
@@ -74,22 +81,15 @@ Cache::fill(Addr addr)
         }
     }
     victim->valid = true;
-    victim->tag = tag;
+    victim->tag = tagOf(addr);
     victim->lru = ++useClock_;
 }
 
 void
 Cache::flush(Addr addr)
 {
-    std::uint64_t set = lineIndex(addr);
-    std::uint64_t tag = tagOf(addr);
-    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
-        Line &line = lines_[set * params_.assoc + w];
-        if (line.valid && line.tag == tag) {
-            line.valid = false;
-            return;
-        }
-    }
+    if (Line *line = findLine(addr))
+        line->valid = false;
 }
 
 void

@@ -74,6 +74,11 @@ class Cache
     std::uint64_t lineIndex(Addr addr) const;
     std::uint64_t tagOf(Addr addr) const;
 
+    /** The valid line holding @p addr, or nullptr. The one set walk
+     * shared by access/probe/fill/flush; never touches LRU. */
+    const Line *findLine(Addr addr) const;
+    Line *findLine(Addr addr);
+
     CacheParams params_;
     std::uint32_t numSets_;
     std::vector<Line> lines_; ///< numSets_ * assoc, set-major

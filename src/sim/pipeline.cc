@@ -80,7 +80,7 @@ Pipeline::noteFenceStallEnd(const RobEntry &e)
     if (!e.counted)
         return; // never blocked
     histFenceStall_->sample(now_ - e.blockedSince);
-    if (trace::eventsEnabled())
+    if (eventsOn_)
         recordSpan(trace::Flag::Fence, e, e.blockedSince);
 }
 
@@ -131,30 +131,81 @@ Pipeline::captureOperand(RobEntry &e, unsigned slot, RegId reg)
     }
 }
 
-bool
-Pipeline::operandsReady(RobEntry &e)
+void
+Pipeline::registerDispatch(RobEntry &e)
 {
-    bool ready = true;
+    // Dependence wakeup lists: instead of every waiting entry polling
+    // its producers each cycle, a completing producer pushes its
+    // result to registered (consumer, slot) pairs. A producer always
+    // reaches Done before it can commit, so consumers never need the
+    // architectural-file fallback the polling scan had.
+    e.pendingSrcs = 0;
     for (unsigned s = 0; s < 2; ++s) {
         if (e.srcReady[s])
             continue;
+        ++e.pendingSrcs;
         RobEntry *p = findBySeq(e.srcProd[s]);
-        if (!p) {
-            // Producer committed before we sampled its result; the
-            // architectural file now holds it (in-order commit
-            // guarantees no younger writer has committed yet).
-            e.srcVal[s] = regs_[e.srcReg[s]];
-            e.srcReady[s] = true;
-            continue;
-        }
-        if (p->state == EState::Done) {
-            e.srcVal[s] = p->result;
-            e.srcReady[s] = true;
-        } else {
-            ready = false;
-        }
+        assert(p && "unready operand has a live producer");
+        p->wakeup.emplace_back(e.seq, s);
     }
-    return ready;
+    if (e.pendingSrcs == 0)
+        readyQ_.emplace_back(e.seq, &e); // youngest: append keeps order
+
+    switch (e.op->op) {
+      case Op::Store:
+        storeQ_.emplace_back(e.seq, &e);
+        pendingStores_.push_back(e.seq);
+        break;
+      case Op::Fence:
+        pendingFences_.push_back(e.seq);
+        break;
+      default:
+        break;
+    }
+    if (e.isControl)
+        unresolvedCtls_.push_back(e.seq);
+}
+
+void
+Pipeline::enqueueReady(RobEntry &e)
+{
+    auto it = std::lower_bound(
+        readyQ_.begin(), readyQ_.end(), e.seq,
+        [](const auto &p, std::uint64_t s) { return p.first < s; });
+    readyQ_.emplace(it, e.seq, &e);
+}
+
+void
+Pipeline::onComplete(RobEntry &e)
+{
+    for (auto [cseq, slot] : e.wakeup) {
+        RobEntry *c = findBySeq(cseq);
+        if (!c || c->srcReady[slot])
+            continue; // consumer squashed since registration
+        c->srcVal[slot] = e.result;
+        c->srcReady[slot] = true;
+        if (--c->pendingSrcs == 0)
+            enqueueReady(*c);
+    }
+    e.wakeup.clear();
+    if (e.op->op == Op::Fence) {
+        auto it = std::lower_bound(pendingFences_.begin(),
+                                   pendingFences_.end(), e.seq);
+        if (it != pendingFences_.end() && *it == e.seq)
+            pendingFences_.erase(it);
+    }
+}
+
+std::uint64_t
+Pipeline::horizonSeq()
+{
+    while (!unresolvedCtls_.empty()) {
+        RobEntry *e = findBySeq(unresolvedCtls_.front());
+        if (e && !e->resolved)
+            return e->seq;
+        unresolvedCtls_.pop_front(); // resolved or committed
+    }
+    return RobEntry::kNoSeq;
 }
 
 bool
@@ -170,35 +221,42 @@ Pipeline::addrTainted(RobEntry &e)
     if (e.srcProd[0] == RobEntry::kNoSeq)
         return false;
     RobEntry *p = findBySeq(e.srcProd[0]);
-    return p && p->tainted;
+    return p && taintOf(*p);
 }
 
-void
-Pipeline::recomputeTaint()
+bool
+Pipeline::taintOf(RobEntry &e)
 {
-    // Oldest-to-youngest so producer taint is current when consumers
-    // read it. Values from committed producers are untainted.
-    for (auto &e : rob_) {
-        switch (e.op->op) {
-          case Op::Load:
-            e.tainted = isSpeculative(e);
-            break;
-          case Op::IntAlu:
-          case Op::IntMul: {
-            bool t = false;
-            for (unsigned s = 0; s < 2 && !t; ++s) {
-                if (e.srcProd[s] == RobEntry::kNoSeq)
-                    continue;
-                RobEntry *p = findBySeq(e.srcProd[s]);
-                t = p && p->tainted;
-            }
-            e.tainted = t;
-            break;
-          }
-          default:
-            e.tainted = false;
+    // Demand-driven STT taint, memoized per cycle. ROB membership and
+    // the speculation horizon are both fixed for the whole issue
+    // phase (squashes and commits happen in earlier phases,
+    // dispatches later), so walking producer chains here yields
+    // exactly what the retired full-ROB oldest-to-youngest recompute
+    // produced — only for the entries a gated load actually asks
+    // about. Producer chains are a DAG ordered by seq, so the
+    // recursion terminates; committed producers read as untainted.
+    if (e.taintCycle == now_)
+        return e.tainted;
+    e.taintCycle = now_;
+    bool t = false;
+    switch (e.op->op) {
+      case Op::Load:
+        t = isSpeculative(e);
+        break;
+      case Op::IntAlu:
+      case Op::IntMul:
+        for (unsigned s = 0; s < 2 && !t; ++s) {
+            if (e.srcProd[s] == RobEntry::kNoSeq)
+                continue;
+            RobEntry *p = findBySeq(e.srcProd[s]);
+            t = p && taintOf(*p);
         }
+        break;
+      default:
+        break;
     }
+    e.tainted = t;
+    return t;
 }
 
 std::uint64_t
@@ -246,26 +304,29 @@ Pipeline::tryIssueLoad(RobEntry &e)
         e.addrValid = true;
     }
 
-    // Memory disambiguation (conservative) and fence ordering: scan
-    // older in-flight stores and fences.
+    // Memory disambiguation (conservative) and fence ordering, O(1):
+    // an older not-yet-Done fence or an older store whose address is
+    // still unknown stalls the load. pendingFences_/pendingStores_
+    // are seq-sorted, so the oldest blocker is at the front.
+    if (!pendingFences_.empty() && pendingFences_.front() < e.seq)
+        return false;
+    if (!pendingStores_.empty() && pendingStores_.front() < e.seq)
+        return false;
+
+    // Store-to-load forwarding: every older store has a resolved
+    // address now; the youngest same-address one (the last match the
+    // full scan kept) forwards its value.
     bool forwarded = false;
     std::uint64_t fwd_val = 0;
-    for (auto &older : rob_) {
-        if (older.seq >= e.seq)
-            break;
-        if (older.op->op == Op::Fence &&
-            older.state != EState::Done) {
-            return false;
-        }
-        if (older.op->op != Op::Store)
-            continue;
-        if (older.state == EState::Waiting ||
-            older.state == EState::Blocked || !older.addrValid) {
-            return false; // unresolved older store address
-        }
-        if (older.effAddr == e.effAddr) {
+    auto it = std::lower_bound(
+        storeQ_.begin(), storeQ_.end(), e.seq,
+        [](const auto &p, std::uint64_t s) { return p.first < s; });
+    while (it != storeQ_.begin()) {
+        --it;
+        if (it->second->effAddr == e.effAddr) {
             forwarded = true;
-            fwd_val = older.result;
+            fwd_val = it->second->result;
+            break;
         }
     }
 
@@ -330,6 +391,7 @@ Pipeline::tryIssueLoad(RobEntry &e)
     e.state = EState::Executing;
     e.issueCycle = now_;
     e.doneCycle = now_ + lat;
+    eventQ_.emplace(e.doneCycle, e.seq);
     histLoadWait_->sample(now_ - e.dispatchCycle);
     ctrLoads_.inc();
     if (spec)
@@ -352,8 +414,27 @@ Pipeline::rebuildRenameMap()
 void
 Pipeline::squashAfter(std::uint64_t seq)
 {
+    // The squash walk starts at the mispredicted entry's successors —
+    // the ROB tail — so its cost is the number of squashed micro-ops,
+    // never the ROB size. Each scheduling structure is seq-sorted, so
+    // the squashed entries form an exact suffix of each.
+    auto chopPairs = [seq](auto &c) {
+        while (!c.empty() && c.back().first > seq)
+            c.pop_back();
+    };
+    auto chopSeqs = [seq](auto &c) {
+        while (!c.empty() && c.back() > seq)
+            c.pop_back();
+    };
+    chopPairs(readyQ_);
+    chopPairs(storeQ_);
+    chopSeqs(pendingStores_);
+    chopSeqs(pendingFences_);
+    chopSeqs(unresolvedCtls_);
+    // eventQ_ entries for squashed seqs are dropped lazily on pop.
+
     std::uint64_t depth = 0;
-    bool record = trace::eventsEnabled();
+    bool record = eventsOn_;
     while (!rob_.empty() && rob_.back().seq > seq) {
         RobEntry &victim = rob_.back();
         if (victim.op->op == Op::Load)
@@ -456,7 +537,7 @@ Pipeline::resolveControl(RobEntry &e)
                            prog_.func(fetch_.func).name + "[" +
                            std::to_string(fetch_.idx) + "]");
         }
-        if (trace::eventsEnabled())
+        if (eventsOn_)
             recordSpan(trace::Flag::Squash, e, now_, " (mispredict)");
         fetchStallUntil_ = now_ + params_.mispredictPenalty;
         ctrMispredicts_.inc();
@@ -504,6 +585,9 @@ Pipeline::applyCommit(RobEntry &e)
         mem_.write(e.effAddr, e.srcVal[1]);
         caches_.accessData(e.effAddr, &stats_);
         --inflightStores_;
+        // In-order commit: this store is the oldest in flight.
+        assert(!storeQ_.empty() && storeQ_.front().first == e.seq);
+        storeQ_.pop_front();
     } else if (e.op->op == Op::Load) {
         // An invisibly-executed load becomes architecturally visible
         // at commit: install its line now (the InvisiSpec "expose").
@@ -516,7 +600,7 @@ Pipeline::applyCommit(RobEntry &e)
         ctrCommittedKernel_.inc();
     // Structured commit span: the instruction's dispatch-to-commit
     // lifetime, with its issue cycle in the args.
-    if (trace::eventsEnabled())
+    if (eventsOn_)
         recordSpan(trace::Flag::Commit, e, e.dispatchCycle);
     if (trace::enabled(trace::Flag::Commit)) {
         trace::log(trace::Flag::Commit, now_,
@@ -526,94 +610,95 @@ Pipeline::applyCommit(RobEntry &e)
     }
 }
 
+bool
+Pipeline::tryIssue(RobEntry &e)
+{
+    // One issue attempt for an operand-ready entry, in seq order.
+    // Returns true when the entry left the ready queue (it entered an
+    // FU); a false return keeps it queued for a retry next cycle with
+    // the same side effects (policy gate calls, counters) the
+    // full-ROB scan produced.
+    if (e.op->op == Op::Load)
+        return tryIssueLoad(e);
+
+    if (e.op->op == Op::Fence) {
+        // Serializing: completes only at the head of the ROB.
+        if (e.seq != rob_.front().seq)
+            return false;
+    }
+    if (e.op->op == Op::Store) {
+        Addr base = e.op->src1 != kNoReg ? e.srcVal[0] : 0;
+        e.effAddr = base + static_cast<std::uint64_t>(e.op->imm);
+        e.addrValid = true;
+        e.result = e.srcVal[1];
+        // Address now resolved: younger loads may disambiguate.
+        auto it = std::lower_bound(pendingStores_.begin(),
+                                   pendingStores_.end(), e.seq);
+        assert(it != pendingStores_.end() && *it == e.seq);
+        pendingStores_.erase(it);
+    } else if (e.op->op == Op::IntAlu || e.op->op == Op::IntMul) {
+        e.result = evalAlu(e);
+    } else if (e.op->op == Op::IndirectCall) {
+        e.result = e.srcVal[0];
+    } else if (e.op->op == Op::Call) {
+        // Return-address push: allocate the stack line.
+        if (e.effAddr != 0)
+            caches_.accessData(e.effAddr, &stats_);
+    }
+    e.state = EState::Executing;
+    e.issueCycle = now_;
+    e.doneCycle = now_ + execLatency(e);
+    // Control flow resolves no earlier than the pipeline depth
+    // past dispatch (fetch/decode/rename/issue stages).
+    if (e.isControl) {
+        e.doneCycle = std::max(
+            e.doneCycle, e.dispatchCycle + params_.branchResolveDepth);
+    }
+    eventQ_.emplace(e.doneCycle, e.seq);
+    return true;
+}
+
 void
 Pipeline::doExecute()
 {
-    // Recompute the speculation horizon before completions.
-    oldestUnresolvedCtl_ = RobEntry::kNoSeq;
-    for (auto &e : rob_) {
-        if (e.isControl && !e.resolved) {
-            oldestUnresolvedCtl_ = e.seq;
-            break;
-        }
+    // 1) Completions and control resolution, driven by the event
+    // queue instead of a full-ROB rescan loop. The heap pops in
+    // (cycle, seq) order; every live due event has doneCycle == now_
+    // (nothing executes for zero cycles and completions drain every
+    // cycle), so live entries complete in seq order — the order the
+    // seq-sorted rescan processed them. Events whose entry was
+    // squashed (lookup fails) are dropped; after a mispredict squash,
+    // the remaining due events are exactly the squashed younger
+    // entries the rescan would no longer find.
+    while (!eventQ_.empty() && eventQ_.top().first <= now_) {
+        std::uint64_t seq = eventQ_.top().second;
+        eventQ_.pop();
+        RobEntry *e = findBySeq(seq);
+        if (!e || e->state != EState::Executing)
+            continue; // squashed since issue
+        e->state = EState::Done;
+        onComplete(*e);
+        if (e->isControl && !e->resolved)
+            resolveControl(*e);
     }
 
-    // 1) Completions and control resolution. Resolution may squash,
-    // invalidating iterators, so restart the scan after a squash.
-    bool rescan = true;
-    while (rescan) {
-        rescan = false;
-        for (auto &e : rob_) {
-            if (e.state == EState::Executing && now_ >= e.doneCycle) {
-                e.state = EState::Done;
-                if (e.isControl && !e.resolved) {
-                    if (resolveControl(e)) {
-                        rescan = true;
-                        break;
-                    }
-                }
-            }
-        }
-    }
+    // The Visibility Point horizon for this cycle's issue decisions:
+    // oldest still-unresolved control op. Lazy cursor, not a scan.
+    oldestUnresolvedCtl_ = horizonSeq();
 
-    // Horizon may have moved after resolutions.
-    oldestUnresolvedCtl_ = RobEntry::kNoSeq;
-    for (auto &e : rob_) {
-        if (e.isControl && !e.resolved) {
-            oldestUnresolvedCtl_ = e.seq;
-            break;
-        }
-    }
-
-    recomputeTaint();
-
-    // 2) Issue.
+    // 2) Issue: walk the ready queue (seq order, like the ROB scan)
+    // and compact out the entries that issued.
     unsigned issues = 0;
-    for (auto &e : rob_) {
-        if (issues >= params_.width)
-            break;
-        if (e.state != EState::Waiting && e.state != EState::Blocked)
-            continue;
-        if (!operandsReady(e))
-            continue;
-
-        if (e.op->op == Op::Load) {
-            if (tryIssueLoad(e))
-                ++issues;
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < readyQ_.size(); ++i) {
+        RobEntry &e = *readyQ_[i].second;
+        if (issues < params_.width && tryIssue(e)) {
+            ++issues;
             continue;
         }
-        if (e.op->op == Op::Fence) {
-            // Serializing: completes only at the head of the ROB.
-            if (e.seq != rob_.front().seq)
-                continue;
-        }
-        if (e.op->op == Op::Store) {
-            Addr base = e.op->src1 != kNoReg ? e.srcVal[0] : 0;
-            e.effAddr = base + static_cast<std::uint64_t>(e.op->imm);
-            e.addrValid = true;
-            e.result = e.srcVal[1];
-        } else if (e.op->op == Op::IntAlu ||
-                   e.op->op == Op::IntMul) {
-            e.result = evalAlu(e);
-        } else if (e.op->op == Op::IndirectCall) {
-            e.result = e.srcVal[0];
-        } else if (e.op->op == Op::Call) {
-            // Return-address push: allocate the stack line.
-            if (e.effAddr != 0)
-                caches_.accessData(e.effAddr, &stats_);
-        }
-        e.state = EState::Executing;
-        e.issueCycle = now_;
-        e.doneCycle = now_ + execLatency(e);
-        // Control flow resolves no earlier than the pipeline depth
-        // past dispatch (fetch/decode/rename/issue stages).
-        if (e.isControl) {
-            e.doneCycle = std::max(
-                e.doneCycle,
-                e.dispatchCycle + params_.branchResolveDepth);
-        }
-        ++issues;
+        readyQ_[keep++] = readyQ_[i];
     }
+    readyQ_.resize(keep);
 }
 
 void
@@ -823,6 +908,7 @@ Pipeline::doFetch()
                            op.toString());
         }
         rob_.push_back(std::move(e));
+        registerDispatch(rob_.back());
         ++n;
         ctrFetched_.inc();
         if (stop_fetch)
@@ -833,10 +919,47 @@ Pipeline::doFetch()
 void
 Pipeline::sampleTelemetry()
 {
+    if (!params_.detailedTelemetry)
+        return;
     histRobOcc_->sample(rob_.size());
     tsRobOcc_->tick(now_, rob_.size());
     tsCommitted_->tick(now_, ctrCommitted_.value());
     tsFences_->tick(now_, ctrFences_.value());
+}
+
+Pipeline::Snapshot
+Pipeline::snapshot() const
+{
+    assert(rob_.empty() &&
+           "pipeline snapshots are only valid between runs");
+    return {caches_,      dtlb_,    cond_,
+            btb_,         rsb_,     stats_,
+            regs_,        renameMap_, renameValid_,
+            nextSeq_,     now_,     fetchStallUntil_,
+            asid_,        stackBase_};
+}
+
+void
+Pipeline::restore(const Snapshot &s)
+{
+    assert(rob_.empty() &&
+           "pipeline restore is only valid between runs");
+    caches_ = s.caches;
+    dtlb_ = s.dtlb;
+    cond_ = s.cond;
+    btb_ = s.btb;
+    rsb_ = s.rsb;
+    // In place: cached Counter/Histogram/TimeSeries handles (both the
+    // pipeline's own and the policies') must stay bound.
+    stats_.assignFrom(s.stats);
+    regs_ = s.regs;
+    renameMap_ = s.renameMap;
+    renameValid_ = s.renameValid;
+    nextSeq_ = s.nextSeq;
+    now_ = s.now;
+    fetchStallUntil_ = s.fetchStallUntil;
+    asid_ = s.asid;
+    stackBase_ = s.stackBase;
 }
 
 RunResult
@@ -847,12 +970,22 @@ Pipeline::run(FuncId entry)
     fetch_.idx = 0;
     halted_ = false;
     rob_.clear();
+    readyQ_.clear();
+    eventQ_ = {};
+    storeQ_.clear();
+    pendingStores_.clear();
+    pendingFences_.clear();
+    unresolvedCtls_.clear();
+    oldestUnresolvedCtl_ = RobEntry::kNoSeq;
     renameValid_.fill(false);
     inflightLoads_ = 0;
     inflightStores_ = 0;
     fetchBlockedOnSeq_ = RobEntry::kNoSeq;
     fetchStallUntil_ = 0;
     lastFetchLine_ = ~Addr{0};
+    // Per-run latch: the structured event log is consulted once, not
+    // per committed/squashed micro-op.
+    eventsOn_ = trace::eventsEnabled();
 
     Cycle start = now_;
     std::uint64_t start_inst = stats_.get("committed");

@@ -29,6 +29,8 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <queue>
+#include <utility>
 #include <vector>
 
 #include "cache.hh"
@@ -65,6 +67,11 @@ struct PipelineParams
     Cycle kernelExitCost = 24;
     Cycle dramLatency = 100;      ///< 50 ns at 2 GHz
     Cycle maxCycles = 200'000'000;///< runaway guard
+    /** Per-cycle distribution/time-series sampling (ROB occupancy
+     * histogram, committed/fences time series). Off: zero per-cycle
+     * telemetry cost; event-proportional samples (fence stalls,
+     * squash depths, load waits) are always collected. */
+    bool detailedTelemetry = true;
 };
 
 /** Outcome of one Pipeline::run invocation. */
@@ -109,6 +116,34 @@ class Pipeline
      * them in the next.
      */
     RunResult run(FuncId entry);
+
+    /**
+     * Checkpoint of the core's full microarchitectural state between
+     * runs: caches, TLB, predictors, architectural registers, stats
+     * and the sequence/cycle clocks. Only valid at a quiescent point
+     * (empty ROB — i.e. between run() calls); in-flight state is
+     * deliberately not part of it.
+     */
+    struct Snapshot
+    {
+        CacheHierarchy caches;
+        Tlb dtlb;
+        CondPredictor cond;
+        Btb btb;
+        Rsb rsb;
+        StatSet stats;
+        std::array<std::uint64_t, kNumRegs> regs{};
+        std::array<std::uint64_t, kNumRegs> renameMap{};
+        std::array<bool, kNumRegs> renameValid{};
+        std::uint64_t nextSeq = 0;
+        Cycle now = 0;
+        Cycle fetchStallUntil = 0;
+        Asid asid = 0;
+        Addr stackBase = 0;
+    };
+
+    Snapshot snapshot() const;
+    void restore(const Snapshot &s);
 
     Memory &memory() { return mem_; }
     CacheHierarchy &caches() { return caches_; }
@@ -170,9 +205,16 @@ class Pipeline
         std::array<bool, 2> srcReady = {true, true};
         std::array<RegId, 2> srcReg = {kNoReg, kNoReg};
 
-        bool tainted = false;   ///< result taint (STT)
+        bool tainted = false;   ///< result taint (STT), memoized
+        Cycle taintCycle = 0;   ///< cycle `tainted` was computed for
         bool counted = false;   ///< fence already counted for stats
         bool invisible = false; ///< executed without cache fills
+
+        /** Unready source-operand count; 0 = issue candidate. */
+        std::uint8_t pendingSrcs = 0;
+        /** Consumers to wake when this entry completes:
+         * (consumer seq, operand slot). */
+        std::vector<std::pair<std::uint64_t, unsigned>> wakeup;
 
         // Memory ops.
         Addr effAddr = 0;
@@ -197,11 +239,15 @@ class Pipeline
 
     // -- helpers ---------------------------------------------------------
     RobEntry *findBySeq(std::uint64_t seq);
-    bool operandsReady(RobEntry &e);
     bool isSpeculative(const RobEntry &e) const;
     bool addrTainted(RobEntry &e);
-    void recomputeTaint();
+    bool taintOf(RobEntry &e);
     bool resolveControl(RobEntry &e);
+    void registerDispatch(RobEntry &e);
+    void enqueueReady(RobEntry &e);
+    void onComplete(RobEntry &e);
+    bool tryIssue(RobEntry &e);
+    std::uint64_t horizonSeq();
     void squashAfter(std::uint64_t seq);
     void rebuildRenameMap();
     void captureOperand(RobEntry &e, unsigned slot, RegId reg);
@@ -274,10 +320,41 @@ class Pipeline
     unsigned inflightLoads_ = 0;
     unsigned inflightStores_ = 0;
     bool halted_ = false;
+    bool eventsOn_ = false; ///< structured-sink flag, cached per run
 
-    // Monotonically updated: smallest seq of an unresolved control op,
-    // recomputed each cycle.
+    // Smallest seq of an unresolved control op (the Visibility Point
+    // horizon), recomputed once per cycle from unresolvedCtls_.
     std::uint64_t oldestUnresolvedCtl_ = RobEntry::kNoSeq;
+
+    // -- incremental scheduling structures --------------------------------
+    // All are keyed/sorted by seq; RobEntry pointers are stable (the
+    // deque never relocates survivors) and every structure drops its
+    // suffix on squash and the affected front entries on commit, so
+    // no structure ever holds a pointer to a popped entry.
+
+    /** Issue candidates (Waiting with ready operands, or Blocked),
+     * sorted by seq. Entries leave only by issuing or by squash;
+     * blocked and conflict-stalled entries are re-attempted — and
+     * re-gated by the policy, which has accounting side effects —
+     * every cycle, exactly like the full-ROB scan did. */
+    std::vector<std::pair<std::uint64_t, RobEntry *>> readyQ_;
+
+    /** Completion events (doneCycle, seq); min-heap. Squashed
+     * entries' events are dropped lazily when popped. */
+    std::priority_queue<std::pair<Cycle, std::uint64_t>,
+                        std::vector<std::pair<Cycle, std::uint64_t>>,
+                        std::greater<>>
+        eventQ_;
+
+    /** All in-flight stores (dispatch to commit), seq order. */
+    std::deque<std::pair<std::uint64_t, RobEntry *>> storeQ_;
+    /** Seqs of stores that have not issued yet (address unknown). */
+    std::vector<std::uint64_t> pendingStores_;
+    /** Seqs of fences that are not Done yet. */
+    std::deque<std::uint64_t> pendingFences_;
+    /** Seqs of dispatched control ops; resolved/dead fronts are
+     * popped lazily by horizonSeq(). */
+    std::deque<std::uint64_t> unresolvedCtls_;
 };
 
 } // namespace perspective::sim

@@ -281,6 +281,41 @@ class StatSet
             ts.clear();
     }
 
+    /**
+     * Make this set's *values* equal to @p o without invalidating any
+     * outstanding Counter handle or Histogram/TimeSeries reference:
+     * entries are written in place (created when missing, zeroed when
+     * absent from @p o), never erased. Plain assignment would rebuild
+     * the maps and dangle every cached hot-path handle; this is the
+     * restore path for snapshot/rollback experiments.
+     */
+    void
+    assignFrom(const StatSet &o)
+    {
+        for (auto &[name, value] : counters_)
+            value = o.get(name);
+        for (const auto &[name, value] : o.counters_)
+            counters_[name] = value;
+        for (auto &[name, h] : histograms_) {
+            auto it = o.histograms_.find(name);
+            if (it == o.histograms_.end())
+                h.clear();
+            else
+                h = it->second;
+        }
+        for (const auto &[name, h] : o.histograms_)
+            histograms_[name] = h;
+        for (auto &[name, ts] : series_) {
+            auto it = o.series_.find(name);
+            if (it == o.series_.end())
+                ts.clear();
+            else
+                ts = it->second;
+        }
+        for (const auto &[name, ts] : o.series_)
+            series_.insert_or_assign(name, ts);
+    }
+
     /** Dump counters then histogram summaries, sorted by name. */
     void dump(std::ostream &os) const;
 

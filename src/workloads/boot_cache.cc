@@ -1,0 +1,97 @@
+#include "boot_cache.hh"
+
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+namespace perspective::workloads
+{
+
+namespace
+{
+
+std::mutex cacheMutex;
+
+std::unordered_map<std::uint64_t, std::shared_ptr<BootImage>> &
+cache()
+{
+    static std::unordered_map<std::uint64_t,
+                              std::shared_ptr<BootImage>>
+        c;
+    return c;
+}
+
+int snapshotOverride = -1; // -1: follow env, 0/1: forced
+
+bool
+envEnabled()
+{
+    static const bool on = [] {
+        const char *env = std::getenv("PERSPECTIVE_SNAPSHOT");
+        return !(env && env[0] == '0' && env[1] == '\0');
+    }();
+    return on;
+}
+
+/** Caller must hold cacheMutex. */
+bool
+enabledLocked()
+{
+    if (snapshotOverride >= 0)
+        return snapshotOverride != 0;
+    return envEnabled();
+}
+
+} // namespace
+
+BootImage::BootImage(std::uint64_t seed) : seed_(seed)
+{
+    kernel::ImageParams ip;
+    ip.seed = seed;
+    img_ = std::make_unique<kernel::KernelImage>(bootMem_, ip);
+    drivers_ = std::make_unique<DriverSet>(*img_);
+    img_->program().layout();
+    snap_ = bootMem_.snapshot();
+}
+
+std::shared_ptr<BootImage>
+BootImage::forSeed(std::uint64_t seed)
+{
+    std::lock_guard<std::mutex> lock(cacheMutex);
+    if (!enabledLocked())
+        return std::make_shared<BootImage>(seed);
+    auto &slot = cache()[seed];
+    if (!slot)
+        slot = std::make_shared<BootImage>(seed);
+    return slot;
+}
+
+bool
+BootImage::snapshotEnabled()
+{
+    std::lock_guard<std::mutex> lock(cacheMutex);
+    return enabledLocked();
+}
+
+void
+BootImage::setSnapshotEnabled(bool on)
+{
+    std::lock_guard<std::mutex> lock(cacheMutex);
+    snapshotOverride = on ? 1 : 0;
+}
+
+void
+BootImage::dropCache()
+{
+    std::lock_guard<std::mutex> lock(cacheMutex);
+    cache().clear();
+}
+
+std::size_t
+BootImage::cacheSize()
+{
+    std::lock_guard<std::mutex> lock(cacheMutex);
+    return cache().size();
+}
+
+} // namespace perspective::workloads

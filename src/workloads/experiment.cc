@@ -63,11 +63,13 @@ Experiment::Experiment(const WorkloadProfile &profile, Scheme scheme,
                        std::uint64_t seed)
     : profile_(profile), scheme_(scheme)
 {
-    kernel::ImageParams ip;
-    ip.seed = seed;
-    img_ = std::make_unique<kernel::KernelImage>(mem_, ip);
-    drivers_ = std::make_unique<DriverSet>(*img_);
-    img_->program().layout();
+    // The booted image (built once per seed per process when snapshot
+    // reuse is on): restore its memory contents copy-on-write instead
+    // of re-generating and re-laying-out ~28k kernel functions.
+    boot_ = BootImage::forSeed(seed);
+    img_ = &boot_->image();
+    drivers_ = &boot_->drivers();
+    mem_.restore(boot_->memoryImage());
 
     kernel::KernelParams kp;
     kp.secureSlab = isPerspective(scheme);
@@ -237,6 +239,29 @@ Experiment::runRequestAs(Pid pid)
         total.instructions += r.instructions;
     }
     return total;
+}
+
+Experiment::Snapshot
+Experiment::snapshot() const
+{
+    return {mem_.snapshot(), ks_->snapshot(), exec_->snapshot(),
+            cpu_->snapshot(),
+            perspective_
+                ? std::optional(perspective_->snapshot())
+                : std::nullopt};
+}
+
+void
+Experiment::restore(const Snapshot &s)
+{
+    mem_.restore(s.mem);
+    ks_->restore(s.kstate);
+    exec_->restore(s.exec);
+    cpu_->restore(s.cpu);
+    // The ownership table and the policy's DSVMT mirrors/caches are
+    // restored as a consistent pair, so no listener replay is needed.
+    if (perspective_ && s.perspective)
+        perspective_->restore(*s.perspective);
 }
 
 RunResult

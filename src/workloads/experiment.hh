@@ -13,6 +13,7 @@
 #include <optional>
 #include <string>
 
+#include "boot_cache.hh"
 #include "core/isv_builders.hh"
 #include "core/perspective.hh"
 #include "defenses/schemes.hh"
@@ -83,7 +84,29 @@ class Experiment
      * @p warmup unmeasured ones) and report the aggregate. */
     RunResult run(unsigned iterations, unsigned warmup = 2);
 
+    /**
+     * Checkpoint of the full experiment state — memory (copy-on-
+     * write), kernel, executor, pipeline microarchitecture and policy
+     * lookup structures — at a quiescent point (between runs). Take
+     * one after boot or after warmup and restore() any number of
+     * times to re-run measurement from an identical warm state
+     * without re-booting.
+     */
+    struct Snapshot
+    {
+        sim::Memory::Snapshot mem;
+        kernel::KernelState::Snapshot kstate;
+        kernel::SyscallExecutor::Snapshot exec;
+        sim::Pipeline::Snapshot cpu;
+        std::optional<core::PerspectivePolicy::Snapshot> perspective;
+    };
+
+    Snapshot snapshot() const;
+    void restore(const Snapshot &s);
+
     // -- component access (attack PoCs, surface studies) ---------------
+    // The image and drivers may be shared (read-only) with other
+    // Experiments of the same seed; see BootImage.
     kernel::KernelImage &image() { return *img_; }
     kernel::KernelState &kernelState() { return *ks_; }
     kernel::SyscallExecutor &executor() { return *exec_; }
@@ -126,8 +149,9 @@ class Experiment
     Scheme scheme_;
 
     sim::Memory mem_;
-    std::unique_ptr<kernel::KernelImage> img_;
-    std::unique_ptr<DriverSet> drivers_;
+    std::shared_ptr<BootImage> boot_;
+    kernel::KernelImage *img_ = nullptr;     ///< boot_'s image
+    DriverSet *drivers_ = nullptr;           ///< boot_'s drivers
     std::unique_ptr<kernel::KernelState> ks_;
     std::unique_ptr<kernel::SyscallExecutor> exec_;
     std::unique_ptr<sim::Pipeline> cpu_;

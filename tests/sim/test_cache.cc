@@ -58,6 +58,36 @@ TEST(Cache, ProbeDoesNotTouchLru)
     EXPECT_TRUE(c.probe(b));
 }
 
+TEST(Cache, ProbeStormPreservesEvictionOrder)
+{
+    // Stronger than ProbeDoesNotTouchLru: with a full set, an
+    // arbitrary storm of probes must leave the *entire* eviction
+    // order exactly what the accesses alone dictate. Guards the
+    // shared access/probe set walk (findLine) against ever routing
+    // probes through the LRU-updating path.
+    Cache c({"t", 1024, 64, 4, 2}); // 4-way, 4 sets
+    Addr way[4] = {0x000, 0x400, 0x800, 0xc00}; // one set
+    for (Addr a : way)
+        c.fill(a);
+    // Recency (oldest -> newest) after these accesses: 2, 0, 3, 1.
+    EXPECT_TRUE(c.access(way[2]));
+    EXPECT_TRUE(c.access(way[0]));
+    EXPECT_TRUE(c.access(way[3]));
+    EXPECT_TRUE(c.access(way[1]));
+    for (int i = 0; i < 100; ++i)
+        for (Addr a : way)
+            EXPECT_TRUE(c.probe(a));
+    // Four conflicting fills must evict in exactly that order.
+    const Addr evictOrder[4] = {way[2], way[0], way[3], way[1]};
+    Addr fresh = 0x1000;
+    for (Addr expected : evictOrder) {
+        EXPECT_TRUE(c.probe(expected));
+        c.fill(fresh);
+        EXPECT_FALSE(c.probe(expected));
+        fresh += 0x400;
+    }
+}
+
 TEST(Cache, FlushAll)
 {
     Cache c({"t", 1024, 64, 2, 2});

@@ -199,3 +199,43 @@ TEST_F(TraceFixture, EventLogDetachedMeansNoRecording)
     runTinyProgram();
     EXPECT_EQ(log.size(), 0u);
 }
+
+TEST_F(TraceFixture, DetailedTelemetryOffSkipsSamplingOnly)
+{
+    // The zero-cost contract: disabling per-cycle telemetry must not
+    // change the simulation — identical cycles and instruction
+    // counts — while leaving the ROB-occupancy histogram and the
+    // per-cycle time series empty.
+    Program prog;
+    FuncId f = prog.addFunction("loop", false);
+    prog.func(f).body = {
+        movImm(1, 0),
+        addImm(1, 1, 1),
+        branchImm(Cond::Lt, 1, 20, 1),
+        ret(),
+    };
+    prog.layout();
+
+    Memory memOn, memOff;
+    PipelineParams on, off;
+    on.detailedTelemetry = true;
+    off.detailedTelemetry = false;
+    Pipeline cpuOn(prog, memOn, on);
+    Pipeline cpuOff(prog, memOff, off);
+    RunResult rOn = cpuOn.run(f);
+    RunResult rOff = cpuOff.run(f);
+
+    EXPECT_EQ(rOn.cycles, rOff.cycles);
+    EXPECT_EQ(rOn.instructions, rOff.instructions);
+
+    EXPECT_GT(
+        cpuOn.stats().histogram("rob_occupancy").count(), 0u);
+    EXPECT_FALSE(
+        cpuOn.stats().timeSeries("rob_occupancy").samples().empty());
+    EXPECT_EQ(
+        cpuOff.stats().histogram("rob_occupancy").count(), 0u);
+    EXPECT_TRUE(
+        cpuOff.stats().timeSeries("rob_occupancy").samples().empty());
+    EXPECT_TRUE(
+        cpuOff.stats().timeSeries("committed").samples().empty());
+}
