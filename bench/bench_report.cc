@@ -22,6 +22,13 @@
  *
  *   bench_report out.json --perf-baseline base.json
  *       # exit 1 if aggregate MIPS < 0.80x the baseline's
+ *
+ * Shard recombination: sweeps run with `--shard K/N` each emit a
+ * partial JSON; --merge stitches them back into one complete sweep
+ * document (cells restored to grid order), refusing duplicated,
+ * overlapping, or missing shards:
+ *
+ *   bench_report --merge merged.json shard1.json shard2.json
  */
 
 #include <cstdint>
@@ -47,6 +54,7 @@ struct Cell
     std::string workload;
     std::string scheme;
     std::string key; ///< config hash (+ duplicate suffix)
+    bool fallbackKey = false; ///< no provenance: workload|scheme key
     bool ok = false;
     std::uint64_t cycles = 0;
     std::uint64_t instructions = 0;
@@ -61,6 +69,7 @@ struct SweepFile
     std::string bench;
     std::string git;
     double wallSeconds = 0;
+    std::uint64_t fallbackKeys = 0; ///< cells without provenance
     std::vector<Cell> cells;
 };
 
@@ -112,15 +121,97 @@ loadSweep(const std::string &path)
         else if (c.wallSeconds > 0) // pre-"mips" files
             c.mips = static_cast<double>(c.instructions) /
                      c.wallSeconds / 1e6;
-        std::string hash =
-            cj.contains("provenance")
-                ? cj.at("provenance").at("config_hash").asString()
-                : c.workload + "|" + c.scheme; // pre-provenance files
+        std::string hash;
+        if (cj.contains("provenance")) {
+            hash = cj.at("provenance").at("config_hash").asString();
+        } else {
+            // Pre-provenance files: a last-resort key that cannot
+            // tell apart cells differing only in seed/iterations/
+            // tags. Warned about below; fatal under --strict.
+            hash = c.workload + "|" + c.scheme;
+            c.fallbackKey = true;
+            ++f.fallbackKeys;
+        }
         unsigned n = seen[hash]++;
         c.key = hash + "#" + std::to_string(n);
         f.cells.push_back(std::move(c));
     }
+    if (f.fallbackKeys > 0)
+        std::fprintf(
+            stderr,
+            "bench_report: WARNING: %s: %llu cell(s) carry no "
+            "provenance block; matching them by the ambiguous "
+            "workload|scheme fallback key. Re-emit the sweep with a "
+            "current build, or pass --strict to make this fatal.\n",
+            path.c_str(),
+            static_cast<unsigned long long>(f.fallbackKeys));
     return f;
+}
+
+/** Parse @p path as a raw sweep JSON document (for --merge). */
+Json
+loadRawJson(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is) {
+        std::fprintf(stderr, "bench_report: cannot read '%s'\n",
+                     path.c_str());
+        std::exit(2);
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    try {
+        return Json::parse(buf.str());
+    } catch (const std::exception &ex) {
+        std::fprintf(stderr, "bench_report: %s: %s\n", path.c_str(),
+                     ex.what());
+        std::exit(2);
+    }
+}
+
+/** --merge OUT IN...: recombine shard sweeps into one document. */
+int
+mergeMain(const std::string &outPath,
+          const std::vector<std::string> &inputs)
+{
+    if (inputs.empty()) {
+        std::fprintf(stderr,
+                     "bench_report: --merge needs at least one "
+                     "shard file\n");
+        return 2;
+    }
+    std::vector<Json> docs;
+    docs.reserve(inputs.size());
+    for (const std::string &path : inputs)
+        docs.push_back(loadRawJson(path));
+
+    std::string error;
+    auto merged =
+        perspective::harness::mergeSweeps(docs, inputs, error);
+    if (!merged) {
+        std::fprintf(stderr, "bench_report: merge failed: %s\n",
+                     error.c_str());
+        return 1;
+    }
+    std::ofstream os(outPath);
+    if (!os) {
+        std::fprintf(stderr,
+                     "bench_report: cannot open '%s' for writing\n",
+                     outPath.c_str());
+        return 2;
+    }
+    merged->write(os, 2);
+    os.put('\n');
+    if (!os.flush()) {
+        std::fprintf(stderr, "bench_report: short write to '%s'\n",
+                     outPath.c_str());
+        return 2;
+    }
+    std::printf("merged %zu shard(s), %zu cells -> %s\n",
+                inputs.size(),
+                merged->at("cells").asArray().size(),
+                outPath.c_str());
+    return 0;
 }
 
 /** Aggregate throughput: total simulated instructions of the
@@ -247,18 +338,28 @@ usage(int code)
 {
     std::printf(
         "usage: bench_report FILE.json [FILE2.json ...]\n"
-        "           [--baseline BASE.json] [--check] [--verbose]\n"
-        "           [--perf-baseline BASE.json] "
-        "[--perf-threshold R]\n"
+        "           [--baseline BASE.json] [--check] [--strict]\n"
+        "           [--verbose] [--perf-baseline BASE.json]\n"
+        "           [--perf-threshold R]\n"
+        "       bench_report --merge OUT.json SHARD.json "
+        "[SHARD2.json ...]\n"
         "  --baseline F       per-cell delta of every input against"
         " F\n"
         "  --check            exit 1 if any cell differs from the\n"
         "                     baseline (regression gate)\n"
+        "  --strict           exit 1 if any input matches cells by\n"
+        "                     the provenance-less workload|scheme\n"
+        "                     fallback key\n"
         "  --verbose          list identical cells too\n"
         "  --perf-baseline F  exit 1 if any input's aggregate MIPS\n"
         "                     falls below R x F's (timing gate)\n"
         "  --perf-threshold R minimum allowed MIPS ratio "
-        "(default 0.80)\n");
+        "(default 0.80)\n"
+        "  --merge OUT        recombine --shard K/N sweep JSONs "
+        "into\n"
+        "                     one complete document (refuses\n"
+        "                     duplicate, overlapping, or missing "
+        "shards)\n");
     std::exit(code);
 }
 
@@ -268,13 +369,19 @@ int
 main(int argc, char **argv)
 {
     std::vector<std::string> inputs;
-    std::string baselinePath, perfBaselinePath;
+    std::string baselinePath, perfBaselinePath, mergePath;
     double perfThreshold = 0.80;
-    bool check = false, verbose = false;
+    bool check = false, verbose = false, strict = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
-        if (arg == "--baseline") {
+        if (arg == "--merge") {
+            if (i + 1 >= argc)
+                usage(2);
+            mergePath = argv[++i];
+        } else if (arg.rfind("--merge=", 0) == 0) {
+            mergePath = arg.substr(8);
+        } else if (arg == "--baseline") {
             if (i + 1 >= argc)
                 usage(2);
             baselinePath = argv[++i];
@@ -294,6 +401,8 @@ main(int argc, char **argv)
             perfThreshold = std::atof(arg.substr(17).c_str());
         } else if (arg == "--check") {
             check = true;
+        } else if (arg == "--strict") {
+            strict = true;
         } else if (arg == "--verbose") {
             verbose = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -306,6 +415,18 @@ main(int argc, char **argv)
         } else {
             inputs.push_back(arg);
         }
+    }
+    if (!mergePath.empty()) {
+        // Merge mode is exclusive: the output is a sweep document,
+        // not a report.
+        if (check || strict || verbose || !baselinePath.empty() ||
+            !perfBaselinePath.empty()) {
+            std::fprintf(stderr,
+                         "bench_report: --merge cannot be combined "
+                         "with report flags\n");
+            return 2;
+        }
+        return mergeMain(mergePath, inputs);
     }
     if (inputs.empty())
         usage(2);
@@ -327,15 +448,28 @@ main(int argc, char **argv)
         files.push_back(loadSweep(path));
 
     unsigned total_diffs = 0;
-    for (const SweepFile &f : files)
+    std::uint64_t fallbacks = 0;
+    for (const SweepFile &f : files) {
         summarize(f);
+        fallbacks += f.fallbackKeys;
+    }
 
     if (!baselinePath.empty()) {
         SweepFile base = loadSweep(baselinePath);
+        fallbacks += base.fallbackKeys;
         std::printf("\nbaseline: ");
         summarize(base);
         for (const SweepFile &f : files)
             total_diffs += compare(f, base, verbose);
+    }
+
+    if (strict && fallbacks > 0) {
+        std::fprintf(stderr,
+                     "bench_report: FAIL — %llu cell(s) matched by "
+                     "the provenance-less fallback key under "
+                     "--strict\n",
+                     static_cast<unsigned long long>(fallbacks));
+        return 1;
     }
 
     unsigned perf_failures = 0;

@@ -57,7 +57,11 @@ totalsOf(const std::vector<CellResult> &results, double wall)
 int
 main(int argc, char **argv)
 {
-    SweepRunner sweep(parseSweepArgs("bench_simspeed", argc, argv));
+    SweepOptions opts = parseSweepArgs("bench_simspeed", argc, argv);
+    // This bench measures wall-clock throughput; serving cells from
+    // the persistent cache would time disk reads, not the simulator.
+    opts.noCache = true;
+    SweepRunner sweep(opts);
 
     std::vector<Scheme> schemes = allSchemes();
     auto suite = lebenchSuite();

@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "harness/sweep.hh"
+
 namespace perspective::bench
 {
 
@@ -32,6 +34,25 @@ inline void
 banner(const std::string &title)
 {
     std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+/**
+ * Whether this run should render its human-readable tables. The grid
+ * benches index results positionally (every table row divides by the
+ * UNSAFE cell of its stride), but a `--shard K/N` run executes only
+ * its own cells — the others are zeroed placeholders — so tables are
+ * meaningless until `bench_report --merge` recombines the shard
+ * JSONs. Prints a note and returns false on shard runs.
+ */
+inline bool
+renderTables(const harness::SweepRunner &sweep)
+{
+    if (!sweep.sharded())
+        return true;
+    std::printf("[shard %u/%u: tables skipped — recombine the "
+                "per-shard JSONs with bench_report --merge]\n",
+                sweep.shardIndex(), sweep.shardCount());
+    return false;
 }
 
 } // namespace perspective::bench

@@ -1,13 +1,21 @@
 #include "pool.hh"
 
+#include <utility>
+
 namespace perspective::harness
 {
+
+namespace
+{
+/** Worker lane of the current thread; 0 on non-pool threads. */
+thread_local unsigned tlsWorker = 0;
+} // namespace
 
 ThreadPool::ThreadPool(unsigned threads) : numThreads_(threads)
 {
     workers_.reserve(threads);
     for (unsigned i = 0; i < threads; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] { workerLoop(i); });
 }
 
 ThreadPool::~ThreadPool()
@@ -28,11 +36,25 @@ ThreadPool::defaultThreads()
     return n == 0 ? 1 : n;
 }
 
+unsigned
+ThreadPool::currentWorker()
+{
+    return tlsWorker;
+}
+
 void
 ThreadPool::submit(std::function<void()> task)
 {
     if (numThreads_ == 0) {
-        task();
+        // Inline mode mirrors the pool's contract: the exception is
+        // captured here and rethrown by wait(), not thrown through
+        // submit(), so callers see one failure model at any width.
+        try {
+            task();
+        } catch (...) {
+            if (!firstError_)
+                firstError_ = std::current_exception();
+        }
         return;
     }
     {
@@ -46,15 +68,22 @@ ThreadPool::submit(std::function<void()> task)
 void
 ThreadPool::wait()
 {
-    if (numThreads_ == 0)
-        return;
-    std::unique_lock<std::mutex> lk(mu_);
-    allDone_.wait(lk, [this] { return inFlight_ == 0; });
+    std::exception_ptr err;
+    if (numThreads_ == 0) {
+        err = std::exchange(firstError_, nullptr);
+    } else {
+        std::unique_lock<std::mutex> lk(mu_);
+        allDone_.wait(lk, [this] { return inFlight_ == 0; });
+        err = std::exchange(firstError_, nullptr);
+    }
+    if (err)
+        std::rethrow_exception(err);
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(unsigned worker)
 {
+    tlsWorker = worker;
     for (;;) {
         std::function<void()> task;
         {
@@ -66,9 +95,20 @@ ThreadPool::workerLoop()
             task = std::move(queue_.front());
             queue_.pop_front();
         }
-        task();
+        // A throwing task must still complete the in-flight count,
+        // or wait() hangs forever (and an escaped exception would
+        // std::terminate the worker). Capture the first one for
+        // wait() to rethrow.
+        std::exception_ptr err;
+        try {
+            task();
+        } catch (...) {
+            err = std::current_exception();
+        }
         {
             std::lock_guard<std::mutex> lk(mu_);
+            if (err && !firstError_)
+                firstError_ = err;
             if (--inFlight_ == 0)
                 allDone_.notify_all();
         }

@@ -12,6 +12,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -39,16 +40,29 @@ class ThreadPool
     /** Enqueue @p task for execution. */
     void submit(std::function<void()> task);
 
-    /** Block until all submitted tasks have completed. */
+    /**
+     * Block until all submitted tasks have completed. If any task
+     * threw, the first exception (in completion order) is rethrown
+     * here — the task still counts as completed, so wait() never
+     * hangs on a throwing task. Later exceptions of the same batch
+     * are dropped.
+     */
     void wait();
 
     unsigned threads() const { return numThreads_; }
+
+    /**
+     * 0-based index of the pool worker executing the current thread,
+     * or 0 outside a pool worker (inline mode runs on the submitting
+     * thread). Lets tasks attribute their runtime to a worker lane.
+     */
+    static unsigned currentWorker();
 
     /** std::thread::hardware_concurrency with a floor of 1. */
     static unsigned defaultThreads();
 
   private:
-    void workerLoop();
+    void workerLoop(unsigned worker);
 
     unsigned numThreads_;
     std::vector<std::thread> workers_;
@@ -59,6 +73,7 @@ class ThreadPool
     std::deque<std::function<void()>> queue_;
     std::size_t inFlight_ = 0; ///< queued + currently running
     bool stopping_ = false;
+    std::exception_ptr firstError_; ///< rethrown by wait()
 };
 
 } // namespace perspective::harness

@@ -1,11 +1,13 @@
 #include "sweep.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <fstream>
+#include <set>
 
 #include "chrome_trace.hh"
 
@@ -38,6 +40,25 @@ parseJobs(const std::string &s, const char *origin)
     return static_cast<unsigned>(v);
 }
 
+void
+parseShard(const std::string &s, const char *origin,
+           SweepOptions &opts)
+{
+    unsigned k = 0, n = 0;
+    int consumed = 0;
+    if (std::sscanf(s.c_str(), "%u/%u%n", &k, &n, &consumed) != 2 ||
+        static_cast<std::size_t>(consumed) != s.size() || n < 1 ||
+        n > 4096 || k < 1 || k > n) {
+        std::fprintf(stderr,
+                     "sweep: bad shard spec '%s' from %s "
+                     "(want K/N with 1 <= K <= N <= 4096)\n",
+                     s.c_str(), origin);
+        std::exit(2);
+    }
+    opts.shardIndex = k;
+    opts.shardCount = n;
+}
+
 /** Probe @p path for writability without truncating it; a sweep can
  * run for hours and must not discover a typo'd path at emit time. */
 void
@@ -50,6 +71,57 @@ probeWritable(const std::string &path, const char *what)
                      what, path.c_str());
         std::exit(2);
     }
+}
+
+std::string
+hashCellConfig(const std::string &workload, const std::string &scheme,
+               std::uint64_t seed, unsigned iterations,
+               unsigned warmup,
+               const std::map<std::string, std::string> &tags)
+{
+    // FNV-1a 64 over every knob that determines the cell's outcome;
+    // identical configurations hash identically across runs, hosts
+    // and job counts, so bench_report can match cells by this key,
+    // the cell cache can store under it, and the shard partition can
+    // key on it.
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](const std::string &s) {
+        for (unsigned char c : s) {
+            h ^= c;
+            h *= 1099511628211ull;
+        }
+        h ^= 0x1f; // field separator
+        h *= 1099511628211ull;
+    };
+    mix(workload);
+    mix(scheme);
+    mix(std::to_string(seed));
+    mix(std::to_string(iterations));
+    mix(std::to_string(warmup));
+    for (const auto &[k, v] : tags) {
+        mix(k);
+        mix(v);
+    }
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+std::uint64_t
+uintField(const Json &obj, const char *field)
+{
+    return obj.contains(field) && obj.at(field).isNumber()
+               ? obj.at(field).asUint()
+               : 0;
+}
+
+double
+doubleField(const Json &obj, const char *field)
+{
+    return obj.contains(field) && obj.at(field).isNumber()
+               ? obj.at(field).asDouble()
+               : 0.0;
 }
 
 } // namespace
@@ -82,6 +154,10 @@ parseSweepArgs(const std::string &bench_name, int argc, char **argv)
         opts.jsonPath = env;
     if (const char *env = std::getenv("PERSPECTIVE_TRACE_OUT"))
         opts.tracePath = env;
+    if (const char *env = std::getenv("PERSPECTIVE_CACHE_DIR"))
+        opts.cacheDir = env;
+    if (const char *env = std::getenv("PERSPECTIVE_SHARD"))
+        parseShard(env, "PERSPECTIVE_SHARD", opts);
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -105,10 +181,22 @@ parseSweepArgs(const std::string &bench_name, int argc, char **argv)
             opts.tracePath = value("--trace-out");
         } else if (arg.rfind("--trace-out=", 0) == 0) {
             opts.tracePath = arg.substr(12);
+        } else if (arg == "--cache-dir") {
+            opts.cacheDir = value("--cache-dir");
+        } else if (arg.rfind("--cache-dir=", 0) == 0) {
+            opts.cacheDir = arg.substr(12);
+        } else if (arg == "--no-cache") {
+            opts.noCache = true;
+        } else if (arg == "--shard") {
+            parseShard(value("--shard"), "--shard", opts);
+        } else if (arg.rfind("--shard=", 0) == 0) {
+            parseShard(arg.substr(8), "--shard", opts);
         } else if (arg == "--help" || arg == "-h") {
             std::printf(
                 "usage: %s [--jobs N] [--json PATH] "
                 "[--trace-out PATH]\n"
+                "       [--cache-dir PATH] [--no-cache] "
+                "[--shard K/N]\n"
                 "  --jobs N         worker threads for the sweep "
                 "grid\n"
                 "                   (default: hardware concurrency;\n"
@@ -117,7 +205,16 @@ parseSweepArgs(const std::string &bench_name, int argc, char **argv)
                 "                   (env PERSPECTIVE_BENCH_JSON)\n"
                 "  --trace-out PATH emit a Chrome trace_event JSON\n"
                 "                   (chrome://tracing, Perfetto; env\n"
-                "                   PERSPECTIVE_TRACE_OUT)\n",
+                "                   PERSPECTIVE_TRACE_OUT)\n"
+                "  --cache-dir PATH persistent cell result cache:\n"
+                "                   previously simulated cells are\n"
+                "                   served from disk (env\n"
+                "                   PERSPECTIVE_CACHE_DIR)\n"
+                "  --no-cache       ignore any configured cache dir\n"
+                "  --shard K/N      run only shard K of N (1-based);\n"
+                "                   recombine the emitted JSONs with\n"
+                "                   bench_report --merge (env\n"
+                "                   PERSPECTIVE_SHARD)\n",
                 bench_name.c_str());
             std::exit(0);
         } else {
@@ -131,6 +228,22 @@ parseSweepArgs(const std::string &bench_name, int argc, char **argv)
     return opts;
 }
 
+unsigned
+shardOf(const std::string &configHash, unsigned shardCount)
+{
+    if (shardCount <= 1)
+        return 0;
+    // The config hash is already a uniform 64-bit FNV-1a rendered as
+    // hex; re-mix it so the shard does not depend on only the low
+    // bits surviving the modulo.
+    std::uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : configHash) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return static_cast<unsigned>(h % shardCount);
+}
+
 SweepRunner::SweepRunner(SweepOptions opts) : opts_(std::move(opts))
 {
     if (!opts_.jsonPath.empty())
@@ -141,9 +254,13 @@ SweepRunner::SweepRunner(SweepOptions opts) : opts_(std::move(opts))
         sim::trace::setEventLog(traceLog_.get());
     }
 
+    cache_ = std::make_unique<CellCache>(
+        opts_.noCache ? std::string() : opts_.cacheDir);
+
     // jobs == 1 runs inline on the calling thread (pool of 0).
     unsigned n = opts_.effectiveJobs();
     pool_ = std::make_unique<ThreadPool>(n <= 1 ? 0 : n);
+    workerBusy_.assign(std::max(1u, n), 0.0);
 }
 
 SweepRunner::~SweepRunner()
@@ -158,19 +275,89 @@ std::vector<CellResult>
 SweepRunner::run(const std::vector<SweepCell> &cells)
 {
     auto t0 = Clock::now();
+    const unsigned nWorkers = std::max(1u, opts_.effectiveJobs());
 
     std::vector<CellResult> out(cells.size());
+
+    /** A cell this process must actually simulate. */
+    struct Pending
+    {
+        std::size_t idx = 0;
+        std::string hash;
+        double weight = 0;     ///< work-size heuristic units
+        double measured = -1;  ///< cached wall seconds; < 0 = unseen
+    };
+    std::vector<Pending> pending;
+    pending.reserve(cells.size());
+
     for (std::size_t i = 0; i < cells.size(); ++i) {
         const SweepCell &cell = cells[i];
-        CellResult &slot = out[i]; // grid order, not finish order
-        pool_->submit([&cell, &slot] {
+        CellResult &slot = out[i];
+        slot.workload = cell.profile.name;
+        slot.scheme = workloads::schemeName(cell.scheme);
+        slot.seed = cell.seed;
+        slot.iterations = cell.iterations;
+        slot.warmup = cell.warmup;
+        slot.tags = cell.tags;
+        slot.gridIndex = nextGridIndex_++;
+
+        std::string hash = cellConfigHash(cell);
+        if (opts_.sharded() && shardOf(hash, opts_.shardCount) !=
+                                   opts_.shardIndex - 1) {
+            slot.skipped = true;
+            ++skippedCells_;
+            continue;
+        }
+        if (auto hit = cache_->load(hash)) {
+            std::uint64_t gi = slot.gridIndex;
+            slot = cellFromCachedJson(*hit);
+            slot.gridIndex = gi;
+            ++cachedCells_;
+            continue;
+        }
+        Pending p;
+        p.idx = i;
+        p.hash = std::move(hash);
+        p.weight = workloads::estimatedRequestWeight(cell.profile) *
+                   (cell.iterations + cell.warmup + 1.0);
+        if (auto cost = cache_->loadCost(p.hash))
+            p.measured = *cost;
+        pending.push_back(std::move(p));
+    }
+
+    // Cost-aware schedule: longest-estimated-first (classic LPT)
+    // trims the makespan tail a grid-order submission leaves when a
+    // long cell lands last. Measured costs are seconds; heuristic
+    // weights are calibrated into seconds against whatever measured
+    // cells this batch has, so the two sort comparably. The *output*
+    // stays in deterministic grid order regardless (slots are fixed).
+    double mSecs = 0, mWeight = 0;
+    for (const Pending &p : pending) {
+        if (p.measured >= 0) {
+            mSecs += p.measured;
+            mWeight += p.weight;
+        }
+    }
+    const double scale =
+        (mWeight > 0 && mSecs > 0) ? mSecs / mWeight : 1.0;
+    auto keyOf = [scale](const Pending &p) {
+        return p.measured >= 0 ? p.measured : p.weight * scale;
+    };
+    std::stable_sort(pending.begin(), pending.end(),
+                     [&](const Pending &a, const Pending &b) {
+                         return keyOf(a) > keyOf(b);
+                     });
+
+    const bool persist = cache_->persistent();
+    const unsigned jobsNow = jobs();
+    for (const Pending &p : pending) {
+        const SweepCell &cell = cells[p.idx];
+        CellResult &slot = out[p.idx];
+        CellCache *cache = cache_.get();
+        std::string hash = p.hash;
+        pool_->submit([&cell, &slot, cache, hash = std::move(hash),
+                       persist, jobsNow] {
             auto c0 = Clock::now();
-            slot.workload = cell.profile.name;
-            slot.scheme = workloads::schemeName(cell.scheme);
-            slot.seed = cell.seed;
-            slot.iterations = cell.iterations;
-            slot.warmup = cell.warmup;
-            slot.tags = cell.tags;
             try {
                 if (cell.body) {
                     slot.result = cell.body(cell);
@@ -189,9 +376,32 @@ SweepRunner::run(const std::vector<SweepCell> &cells)
                 slot.error = "unknown exception";
             }
             slot.wallSeconds = secondsSince(c0);
+            slot.worker = ThreadPool::currentWorker();
+            // Feed the scheduler (and, when persistent, the next
+            // process) this cell's real cost; only successful cells
+            // become servable cache entries.
+            cache->storeCost(hash, slot.wallSeconds);
+            if (persist && slot.ok)
+                cache->store(hash, cellToJson(slot, jobsNow));
         });
     }
     pool_->wait();
+
+    // Schedule accounting: the ideal makespan is a perfectly
+    // balanced distribution of the measured per-cell seconds across
+    // the workers, bounded below by the longest single cell.
+    double total = 0, longest = 0;
+    for (const Pending &p : pending) {
+        const CellResult &r = out[p.idx];
+        total += r.wallSeconds;
+        longest = std::max(longest, r.wallSeconds);
+        std::size_t lane = std::min<std::size_t>(
+            r.worker, workerBusy_.size() - 1);
+        workerBusy_[lane] += r.wallSeconds;
+    }
+    executedCells_ += pending.size();
+    idealMakespan_ +=
+        std::max(longest, total / static_cast<double>(nWorkers));
 
     wallSeconds_ += secondsSince(t0);
     results_.insert(results_.end(), out.begin(), out.end());
@@ -201,36 +411,67 @@ SweepRunner::run(const std::vector<SweepCell> &cells)
 std::string
 cellConfigHash(const CellResult &r)
 {
-    // FNV-1a 64 over every knob that determines the cell's outcome;
-    // identical configurations hash identically across runs, hosts
-    // and job counts, so bench_report can match cells by this key.
-    std::uint64_t h = 1469598103934665603ull;
-    auto mix = [&h](const std::string &s) {
-        for (unsigned char c : s) {
-            h ^= c;
-            h *= 1099511628211ull;
-        }
-        h ^= 0x1f; // field separator
-        h *= 1099511628211ull;
-    };
-    mix(r.workload);
-    mix(r.scheme);
-    mix(std::to_string(r.seed));
-    mix(std::to_string(r.iterations));
-    mix(std::to_string(r.warmup));
-    for (const auto &[k, v] : r.tags) {
-        mix(k);
-        mix(v);
-    }
-    char buf[17];
-    std::snprintf(buf, sizeof buf, "%016llx",
-                  static_cast<unsigned long long>(h));
-    return buf;
+    return hashCellConfig(r.workload, r.scheme, r.seed, r.iterations,
+                          r.warmup, r.tags);
+}
+
+std::string
+cellConfigHash(const SweepCell &c)
+{
+    return hashCellConfig(c.profile.name,
+                          workloads::schemeName(c.scheme), c.seed,
+                          c.iterations, c.warmup, c.tags);
+}
+
+CellResult
+cellFromCachedJson(const Json &cell)
+{
+    CellResult r;
+    r.workload = cell.at("workload").asString();
+    r.scheme = cell.at("scheme").asString();
+    r.seed = uintField(cell, "seed");
+    r.iterations = static_cast<unsigned>(uintField(cell, "iterations"));
+    r.warmup = static_cast<unsigned>(uintField(cell, "warmup"));
+    if (cell.contains("tags"))
+        for (const auto &[k, v] : cell.at("tags").asObject())
+            r.tags[k] = v.asString();
+    r.wallSeconds = doubleField(cell, "wall_seconds");
+    r.ok = cell.at("ok").asBool();
+    if (cell.contains("error"))
+        r.error = cell.at("error").asString();
+
+    workloads::RunResult &res = r.result;
+    res.cycles = uintField(cell, "cycles");
+    res.instructions = uintField(cell, "instructions");
+    res.kernelInstructions = uintField(cell, "kernel_instructions");
+    res.fences = uintField(cell, "fences");
+    res.isvFences = uintField(cell, "isv_fences");
+    res.dsvFences = uintField(cell, "dsv_fences");
+    res.isvCacheHitRate = doubleField(cell, "isv_cache_hit_rate");
+    res.dsvCacheHitRate = doubleField(cell, "dsv_cache_hit_rate");
+    if (cell.contains("stats"))
+        for (const auto &[name, v] : cell.at("stats").asObject())
+            res.stats.inc(name, v.asUint());
+
+    r.cached = true;
+    r.raw = std::make_shared<Json>(cell);
+    return r;
 }
 
 Json
 cellToJson(const CellResult &r, unsigned jobs)
 {
+    if (r.raw) {
+        // A cached cell re-emits the original run's JSON verbatim —
+        // histograms, time series and provenance (config hash, git,
+        // wall seconds, jobs) are the original run's — plus the
+        // cached marker and its position in the *current* grid.
+        Json::Object o = r.raw->asObject();
+        o["cached"] = true;
+        o["grid_index"] = r.gridIndex;
+        return Json(std::move(o));
+    }
+
     Json::Object o;
     o["workload"] = r.workload;
     o["scheme"] = r.scheme;
@@ -239,6 +480,7 @@ cellToJson(const CellResult &r, unsigned jobs)
     o["warmup"] = r.warmup;
     o["wall_seconds"] = r.wallSeconds;
     o["ok"] = r.ok;
+    o["grid_index"] = r.gridIndex;
     if (!r.ok)
         o["error"] = r.error;
     if (!r.tags.empty()) {
@@ -318,16 +560,46 @@ Json
 SweepRunner::toJson() const
 {
     Json::Object doc;
-    doc["schema"] = std::uint64_t{2};
+    doc["schema"] = std::uint64_t{3};
     doc["bench"] = opts_.benchName;
     doc["jobs"] = jobs();
     doc["git"] = buildGitDescribe();
     doc["wall_seconds"] = wallSeconds_;
+
     Json::Array cells;
     cells.reserve(results_.size());
     for (const CellResult &r : results_)
-        cells.push_back(cellToJson(r, jobs()));
+        if (!r.skipped)
+            cells.push_back(cellToJson(r, jobs()));
     doc["cells"] = std::move(cells);
+
+    CellCache::Stats cs = cache_->stats();
+    Json::Object cacheJ;
+    cacheJ["hits"] = cs.hits;
+    cacheJ["misses"] = cs.misses;
+    cacheJ["dir"] = cache_->dir();
+    doc["cache"] = std::move(cacheJ);
+
+    Json::Object shard;
+    shard["index"] = opts_.shardIndex;
+    shard["count"] = opts_.shardCount;
+    shard["grid_cells"] = nextGridIndex_;
+    doc["shard"] = std::move(shard);
+
+    Json::Object sched;
+    sched["policy"] = "cost-aware";
+    sched["makespan"] = wallSeconds_;
+    sched["ideal_makespan"] = idealMakespan_;
+    sched["executed"] = executedCells_;
+    sched["cached"] = cachedCells_;
+    sched["skipped"] = skippedCells_;
+    Json::Array busy;
+    busy.reserve(workerBusy_.size());
+    for (double b : workerBusy_)
+        busy.emplace_back(b);
+    sched["worker_busy"] = std::move(busy);
+    doc["schedule"] = std::move(sched);
+
     return Json(std::move(doc));
 }
 
@@ -349,9 +621,13 @@ SweepRunner::emitJson() const
                      opts_.jsonPath.c_str());
         return false;
     }
-    std::printf("[sweep: %zu cells, %u jobs, %.2fs; results -> %s]\n",
-                results_.size(), jobs(), wallSeconds_,
-                opts_.jsonPath.c_str());
+    std::printf("[sweep: %zu cells (%llu simulated, %llu cached, "
+                "%llu skipped), %u jobs, %.2fs; results -> %s]\n",
+                results_.size(),
+                static_cast<unsigned long long>(executedCells_),
+                static_cast<unsigned long long>(cachedCells_),
+                static_cast<unsigned long long>(skippedCells_),
+                jobs(), wallSeconds_, opts_.jsonPath.c_str());
     return true;
 }
 
@@ -369,6 +645,151 @@ SweepRunner::emitOutputs() const
     bool json_ok = emitJson();
     bool trace_ok = emitTrace();
     return json_ok && trace_ok;
+}
+
+std::optional<Json>
+mergeSweeps(const std::vector<Json> &shards,
+            const std::vector<std::string> &names, std::string &error)
+{
+    auto fail = [&](std::string msg) {
+        error = std::move(msg);
+        return std::optional<Json>{};
+    };
+    auto nameOf = [&](std::size_t i) {
+        return i < names.size() ? names[i]
+                                : "shard " + std::to_string(i);
+    };
+    if (shards.empty())
+        return fail("no shard files given");
+
+    std::string bench, git, cacheDir;
+    std::uint64_t shardCount = 0, gridCells = 0, jobsMax = 0;
+    std::uint64_t hits = 0, misses = 0;
+    double wallMax = 0;
+    Json::Array shardWalls;
+    std::set<std::uint64_t> shardSeen;
+    std::map<std::uint64_t, const Json *> cellsByIndex;
+
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+        const Json &doc = shards[i];
+        try {
+            if (uintField(doc, "schema") < 3 ||
+                !doc.contains("shard"))
+                return fail(nameOf(i) +
+                            ": not a mergeable sweep JSON "
+                            "(schema >= 3 with a shard block "
+                            "required)");
+            const Json &sh = doc.at("shard");
+            std::uint64_t idx = sh.at("index").asUint();
+            std::uint64_t cnt = sh.at("count").asUint();
+            std::uint64_t grid = sh.at("grid_cells").asUint();
+            if (i == 0) {
+                bench = doc.at("bench").asString();
+                git = doc.at("git").asString();
+                shardCount = cnt;
+                gridCells = grid;
+            } else {
+                if (doc.at("bench").asString() != bench)
+                    return fail(nameOf(i) + ": bench '" +
+                                doc.at("bench").asString() +
+                                "' does not match '" + bench + "'");
+                if (doc.at("git").asString() != git)
+                    return fail(nameOf(i) + ": build '" +
+                                doc.at("git").asString() +
+                                "' does not match '" + git +
+                                "' — shards must come from one "
+                                "build");
+                if (cnt != shardCount || grid != gridCells)
+                    return fail(nameOf(i) +
+                                ": shard layout mismatch (" +
+                                std::to_string(cnt) + " shards over " +
+                                std::to_string(grid) +
+                                " cells vs " +
+                                std::to_string(shardCount) +
+                                " over " + std::to_string(gridCells) +
+                                ")");
+            }
+            if (!shardSeen.insert(idx).second)
+                return fail(nameOf(i) + ": duplicate shard " +
+                            std::to_string(idx) + "/" +
+                            std::to_string(shardCount));
+            double w = doubleField(doc, "wall_seconds");
+            wallMax = std::max(wallMax, w);
+            shardWalls.emplace_back(w);
+            jobsMax = std::max(jobsMax, uintField(doc, "jobs"));
+            if (doc.contains("cache")) {
+                const Json &c = doc.at("cache");
+                hits += uintField(c, "hits");
+                misses += uintField(c, "misses");
+                if (cacheDir.empty() && c.contains("dir"))
+                    cacheDir = c.at("dir").asString();
+            }
+            for (const Json &cell : doc.at("cells").asArray()) {
+                if (!cell.contains("grid_index"))
+                    return fail(nameOf(i) +
+                                ": cell without grid_index");
+                std::uint64_t gi = cell.at("grid_index").asUint();
+                if (gi >= gridCells)
+                    return fail(nameOf(i) + ": cell grid_index " +
+                                std::to_string(gi) +
+                                " out of range (grid has " +
+                                std::to_string(gridCells) +
+                                " cells)");
+                if (!cellsByIndex.emplace(gi, &cell).second)
+                    return fail("overlapping shards: cell "
+                                "grid_index " +
+                                std::to_string(gi) +
+                                " appears in more than one input");
+            }
+        } catch (const std::exception &ex) {
+            return fail(nameOf(i) + ": " + ex.what());
+        }
+    }
+
+    if (shardSeen.size() != shardCount) {
+        std::string missing;
+        for (std::uint64_t k = 1; k <= shardCount; ++k)
+            if (!shardSeen.count(k))
+                missing += (missing.empty() ? "" : ", ") +
+                           std::to_string(k);
+        return fail("missing shard(s) " + missing + " of " +
+                    std::to_string(shardCount));
+    }
+    if (cellsByIndex.size() != gridCells)
+        return fail("incomplete merge: " +
+                    std::to_string(cellsByIndex.size()) + " of " +
+                    std::to_string(gridCells) + " cells present");
+
+    Json::Object doc;
+    doc["schema"] = std::uint64_t{3};
+    doc["bench"] = bench;
+    doc["jobs"] = jobsMax;
+    doc["git"] = git;
+    doc["wall_seconds"] = wallMax; // shards run concurrently
+    doc["shard_wall_seconds"] = std::move(shardWalls);
+    Json::Array mergedFrom;
+    for (const std::string &n : names)
+        mergedFrom.emplace_back(n);
+    doc["merged_from"] = std::move(mergedFrom);
+
+    Json::Object cacheJ;
+    cacheJ["hits"] = hits;
+    cacheJ["misses"] = misses;
+    cacheJ["dir"] = cacheDir;
+    doc["cache"] = std::move(cacheJ);
+
+    Json::Object shard;
+    shard["index"] = std::uint64_t{1};
+    shard["count"] = std::uint64_t{1};
+    shard["grid_cells"] = gridCells;
+    doc["shard"] = std::move(shard);
+
+    Json::Array cells;
+    cells.reserve(cellsByIndex.size());
+    for (const auto &[gi, cell] : cellsByIndex)
+        cells.push_back(*cell); // std::map: ascending grid order
+    doc["cells"] = std::move(cells);
+    return Json(std::move(doc));
 }
 
 double

@@ -164,12 +164,52 @@ class Pipeline
         Addr slotVa = 0; ///< stack slot holding the return address
     };
 
+    /**
+     * Immutable, structurally shared call stack (a persistent cons
+     * list). Every control op checkpoints the fetch path's stack into
+     * its ROB entry (RobEntry::stackCkpt); with a plain vector that
+     * deep-copied every frame per checkpoint and per squash restore.
+     * Here checkpoint and restore are one shared_ptr copy, push is a
+     * single node allocation sharing the whole tail, and pop is a
+     * pointer step — nothing is ever cloned, and frozen snapshots
+     * stay valid through any later mutation because nodes are
+     * immutable once linked.
+     */
+    class CowStack
+    {
+      public:
+        std::size_t size() const { return top_ ? top_->depth : 0; }
+        bool empty() const { return !top_; }
+        const Frame &back() const { return top_->frame; }
+
+        void
+        push_back(const Frame &f)
+        {
+            top_ = std::make_shared<const Node>(
+                Node{f, top_, size() + 1});
+        }
+
+        void pop_back() { top_ = top_->prev; }
+
+      private:
+        struct Node
+        {
+            Frame frame;
+            std::shared_ptr<const Node> prev;
+            std::size_t depth;
+        };
+
+        /** Null = empty; depth is capped by real kernel call depth,
+         * so chain destruction cannot recurse deeply. */
+        std::shared_ptr<const Node> top_;
+    };
+
     /** Front-end state: where fetch is and the path's call stack. */
     struct FetchState
     {
         FuncId func = kNoFunc;
         std::uint32_t idx = 0;
-        std::vector<Frame> stack;
+        CowStack stack;
         bool halted = false; ///< fetched past the outermost return
     };
 
@@ -228,7 +268,7 @@ class Pipeline
         std::uint32_t predTargetIdx = 0;
         std::uint64_t histCkpt = 0;
         Rsb::Checkpoint rsbCkpt{0, 0};
-        std::vector<Frame> stackCkpt; ///< stack before this op's effect
+        CowStack stackCkpt; ///< stack before this op's effect
         bool sawHalt = false; ///< return with an empty correct stack
     };
 

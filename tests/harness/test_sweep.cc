@@ -51,6 +51,47 @@ TEST(ThreadPool, WaitIsReusable)
     EXPECT_EQ(count.load(), 3);
 }
 
+TEST(ThreadPool, TaskExceptionRethrownFromWait)
+{
+    // Regression: a throwing task used to escape workerLoop, leaving
+    // the in-flight count unbalanced (wait() hung) and terminating
+    // the worker. Now the first exception is captured and rethrown
+    // from wait(); every other task still runs.
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 16; ++i)
+        pool.submit([&count, i] {
+            ++count;
+            if (i == 5)
+                throw std::runtime_error("task failed");
+        });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    EXPECT_EQ(count.load(), 16);
+
+    // The pool stays usable, and the error does not resurface.
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 17);
+}
+
+TEST(ThreadPool, InlineModeExceptionRethrownFromWait)
+{
+    // Inline mode (0 threads) must follow the same contract: the
+    // exception surfaces from wait(), not from submit().
+    ThreadPool pool(0);
+    std::atomic<int> count{0};
+    pool.submit([&count] {
+        ++count;
+        throw std::runtime_error("inline boom");
+    });
+    pool.submit([&count] { ++count; });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    EXPECT_EQ(count.load(), 2);
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 3);
+}
+
 // ---- Json ----------------------------------------------------------
 
 TEST(Json, RoundTripsScalars)
@@ -196,7 +237,7 @@ TEST(Sweep, JsonEmissionRoundTripsCounters)
 
     Json doc = Json::parse(runner.toJson().dump(2));
     EXPECT_EQ(doc.at("bench").asString(), "test_sweep");
-    EXPECT_EQ(doc.at("schema").asUint(), 2u);
+    EXPECT_EQ(doc.at("schema").asUint(), 3u);
     EXPECT_FALSE(doc.at("git").asString().empty());
     const auto &cells = doc.at("cells").asArray();
     ASSERT_EQ(cells.size(), rs.size());
