@@ -71,6 +71,13 @@ struct SweepFile
     double wallSeconds = 0;
     std::uint64_t fallbackKeys = 0; ///< cells without provenance
     std::vector<Cell> cells;
+
+    // Fast-path telemetry summed over every cell's stats block
+    // (zero when the file predates the counters).
+    std::uint64_t gateChecks = 0;   ///< gate verdicts computed
+    std::uint64_t gateElided = 0;   ///< blocked-load rechecks skipped
+    std::uint64_t mruHits = 0;      ///< DSVMT-walk MRU granule hits
+    std::uint64_t mruLookups = 0;   ///< DSVMT-walk lookups
 };
 
 std::uint64_t
@@ -134,6 +141,13 @@ loadSweep(const std::string &path)
         }
         unsigned n = seen[hash]++;
         c.key = hash + "#" + std::to_string(n);
+        if (cj.contains("stats")) {
+            const Json &st = cj.at("stats");
+            f.gateChecks += uintOr0(st, "gate.checks");
+            f.gateElided += uintOr0(st, "gate.elided");
+            f.mruHits += uintOr0(st, "dsvmt.mru.hits");
+            f.mruLookups += uintOr0(st, "dsvmt.mru.lookups");
+        }
         f.cells.push_back(std::move(c));
     }
     if (f.fallbackKeys > 0)
@@ -242,6 +256,21 @@ summarize(const SweepFile &f)
                 f.cells.size(),
                 static_cast<unsigned long long>(failed),
                 f.wallSeconds, aggregateMips(f));
+    // Fast-path telemetry (absent from files predating the counters).
+    if (f.gateChecks + f.gateElided > 0)
+        std::printf("  gate re-evals: %llu checked, %llu elided "
+                    "(%.1f%% elided)\n",
+                    static_cast<unsigned long long>(f.gateChecks),
+                    static_cast<unsigned long long>(f.gateElided),
+                    100.0 * static_cast<double>(f.gateElided) /
+                        static_cast<double>(f.gateChecks +
+                                            f.gateElided));
+    if (f.mruLookups > 0)
+        std::printf("  dsvmt walk MRU: %llu/%llu hits (%.1f%%)\n",
+                    static_cast<unsigned long long>(f.mruHits),
+                    static_cast<unsigned long long>(f.mruLookups),
+                    100.0 * static_cast<double>(f.mruHits) /
+                        static_cast<double>(f.mruLookups));
 }
 
 /** Signed delta column: "+12345" / "0". */

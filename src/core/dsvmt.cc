@@ -5,47 +5,109 @@ namespace perspective::core
 
 using kernel::Pfn;
 
+Dsvmt::GigNode &
+Dsvmt::gigFor(std::uint64_t gig)
+{
+    if (gig >= gigs_.size())
+        gigs_.resize(gig + 1);
+    return gigs_[gig];
+}
+
+std::uint32_t
+Dsvmt::allocLeaf()
+{
+    if (!leafFree_.empty()) {
+        std::uint32_t idx = leafFree_.back();
+        leafFree_.pop_back();
+        leafPool_[idx] = Leaf{};
+        return idx;
+    }
+    leafPool_.emplace_back(Leaf{});
+    return static_cast<std::uint32_t>(leafPool_.size() - 1);
+}
+
+void
+Dsvmt::freeLeaf(GigNode &g, unsigned slot)
+{
+    if (g.leaf[slot] == kNoLeaf)
+        return;
+    leafFree_.push_back(g.leaf[slot]);
+    g.leaf[slot] = kNoLeaf;
+    --g.liveLeaves;
+}
+
 void
 Dsvmt::setPage(Pfn pfn, bool in_dsv)
 {
-    // Demoting a huge mapping materializes nothing: leaf bits take
-    // precedence when present, so just write the leaf.
-    Leaf &leaf = leaves_[granuleOf(pfn)];
+    // Demoting a huge mapping materializes nothing beyond the leaf:
+    // leaf bits take precedence when present, so just write the leaf
+    // (an all-zero leaf if the granule had none — it shadows any
+    // huge entry, exactly like the reference oracle).
+    GigNode &g = gigFor(gigOf(pfn));
+    unsigned slot = static_cast<unsigned>(granuleOf(pfn) & 511);
+    if (g.leaf[slot] == kNoLeaf) {
+        g.leaf[slot] = allocLeaf();
+        ++g.liveLeaves;
+    }
+    Leaf &leaf = leafPool_[g.leaf[slot]];
     unsigned bit = pfn & 511;
     if (in_dsv)
         leaf[bit / 64] |= 1ull << (bit % 64);
     else
         leaf[bit / 64] &= ~(1ull << (bit % 64));
+    invalidateMru();
 }
 
 void
 Dsvmt::set2M(Pfn first_pfn, bool in_dsv)
 {
-    leaves_.erase(granuleOf(first_pfn));
-    huge2m_[granuleOf(first_pfn)] = in_dsv;
+    GigNode &g = gigFor(gigOf(first_pfn));
+    unsigned slot = static_cast<unsigned>(granuleOf(first_pfn) & 511);
+    freeLeaf(g, slot);
+    if (g.huge2m[slot] == HugeState::Absent)
+        ++g.live2m;
+    g.huge2m[slot] = in_dsv ? HugeState::In : HugeState::Out;
+    invalidateMru();
 }
 
 void
 Dsvmt::set1G(Pfn first_pfn, bool in_dsv)
 {
-    huge1g_[gigOf(first_pfn)] = in_dsv;
+    GigNode &g = gigFor(gigOf(first_pfn));
+    g.huge1g = in_dsv ? HugeState::In : HugeState::Out;
+    invalidateMru();
+}
+
+bool
+Dsvmt::resolveNoLeaf(const GigNode *g, unsigned slot) const
+{
+    if (!g)
+        return false;
+    if (g->huge2m[slot] != HugeState::Absent)
+        return g->huge2m[slot] == HugeState::In;
+    return g->huge1g == HugeState::In;
 }
 
 bool
 Dsvmt::queryPfn(Pfn pfn) const
 {
-    auto leaf = leaves_.find(granuleOf(pfn));
-    if (leaf != leaves_.end()) {
-        unsigned bit = pfn & 511;
-        return (leaf->second[bit / 64] >> (bit % 64)) & 1;
+    ++mruLookups_;
+    std::uint64_t granule = granuleOf(pfn);
+    unsigned bit = pfn & 511;
+    if (granule == mruGranule_) {
+        ++mruHits_;
+        if (mruLeaf_ != kNoLeaf)
+            return (leafPool_[mruLeaf_][bit / 64] >> (bit % 64)) & 1;
+        return mruNoLeafValue_;
     }
-    auto h2 = huge2m_.find(granuleOf(pfn));
-    if (h2 != huge2m_.end())
-        return h2->second;
-    auto h1 = huge1g_.find(gigOf(pfn));
-    if (h1 != huge1g_.end())
-        return h1->second;
-    return false;
+    const GigNode *g = gigAt(gigOf(pfn));
+    unsigned slot = static_cast<unsigned>(granule & 511);
+    mruGranule_ = granule;
+    mruLeaf_ = g ? g->leaf[slot] : kNoLeaf;
+    if (mruLeaf_ != kNoLeaf)
+        return (leafPool_[mruLeaf_][bit / 64] >> (bit % 64)) & 1;
+    mruNoLeafValue_ = resolveNoLeaf(g, slot);
+    return mruNoLeafValue_;
 }
 
 bool
@@ -59,9 +121,13 @@ Dsvmt::queryVa(sim::Addr va) const
 unsigned
 Dsvmt::walkLevels(Pfn pfn) const
 {
-    if (leaves_.count(granuleOf(pfn)))
+    const GigNode *g = gigAt(gigOf(pfn));
+    if (!g)
+        return 1;
+    unsigned slot = static_cast<unsigned>(granuleOf(pfn) & 511);
+    if (g->leaf[slot] != kNoLeaf)
         return 3;
-    if (huge2m_.count(granuleOf(pfn)))
+    if (g->huge2m[slot] != HugeState::Absent)
         return 2;
     return 1;
 }
@@ -69,16 +135,23 @@ Dsvmt::walkLevels(Pfn pfn) const
 std::size_t
 Dsvmt::memoryBytes() const
 {
-    return leaves_.size() * sizeof(Leaf) + huge2m_.size() +
-           huge1g_.size();
+    std::size_t leaves = 0, twoMeg = 0, oneGig = 0;
+    for (const GigNode &g : gigs_) {
+        leaves += g.liveLeaves;
+        twoMeg += g.live2m;
+        oneGig += g.huge1g != HugeState::Absent ? 1 : 0;
+    }
+    return leaves * sizeof(Leaf) +
+           (twoMeg + oneGig) * sizeof(std::uint64_t);
 }
 
 void
 Dsvmt::clear()
 {
-    leaves_.clear();
-    huge2m_.clear();
-    huge1g_.clear();
+    gigs_.clear();
+    leafPool_.clear();
+    leafFree_.clear();
+    invalidateMru();
 }
 
 } // namespace perspective::core

@@ -29,7 +29,7 @@ IsvCache::lookup(Addr pc, Asid asid, bool defer_lru, sim::Cycle now,
             if (now < e.readyAt) {
                 if (count)
                     ++misses_; // fill still in flight
-                return {false, false};
+                return {false, false, e.readyAt};
             }
             if (!defer_lru)
                 e.lru = ++useClock_;
@@ -56,6 +56,7 @@ IsvCache::fill(Addr pc, Asid asid, IsvRegionBits bits,
         Entry &e = entries_[set * assoc_ + w];
         if (e.valid && e.line == line && e.asid == asid) {
             e.bits = bits;
+            ++gen_;
             return; // already filling or present
         }
         if (!victim || (victim->valid &&
@@ -69,6 +70,7 @@ IsvCache::fill(Addr pc, Asid asid, IsvRegionBits bits,
     victim->bits = bits;
     victim->lru = ++useClock_;
     victim->readyAt = ready_at;
+    ++gen_;
 }
 
 void
@@ -78,6 +80,7 @@ IsvCache::invalidateAsid(Asid asid)
         if (e.valid && e.asid == asid)
             e.valid = false;
     }
+    ++gen_;
 }
 
 void
@@ -85,6 +88,7 @@ IsvCache::invalidateAll()
 {
     for (auto &e : entries_)
         e.valid = false;
+    ++gen_;
 }
 
 DsvCache::DsvCache(std::uint32_t entries, std::uint32_t assoc)
@@ -108,7 +112,7 @@ DsvCache::lookup(Addr va, Asid asid, bool defer_lru, sim::Cycle now,
             if (now < e.readyAt) {
                 if (count)
                     ++misses_; // fill still in flight
-                return {false, false};
+                return {false, false, e.readyAt};
             }
             if (!defer_lru)
                 e.lru = ++useClock_;
@@ -133,6 +137,7 @@ DsvCache::fill(Addr va, Asid asid, bool in_dsv, sim::Cycle ready_at)
         Entry &e = entries_[set * assoc_ + w];
         if (e.valid && e.page == page && e.asid == asid) {
             e.inDsv = in_dsv;
+            ++gen_;
             return;
         }
         if (!victim || (victim->valid &&
@@ -146,6 +151,7 @@ DsvCache::fill(Addr va, Asid asid, bool in_dsv, sim::Cycle ready_at)
     victim->inDsv = in_dsv;
     victim->lru = ++useClock_;
     victim->readyAt = ready_at;
+    ++gen_;
 }
 
 void
@@ -156,6 +162,7 @@ DsvCache::invalidatePage(Addr page_va)
         if (e.valid && e.page == page)
             e.valid = false;
     }
+    ++gen_;
 }
 
 void
@@ -163,6 +170,7 @@ DsvCache::invalidateAll()
 {
     for (auto &e : entries_)
         e.valid = false;
+    ++gen_;
 }
 
 } // namespace perspective::core

@@ -26,6 +26,11 @@ struct HwLookup
 {
     bool hit = false;
     bool allow = false; ///< valid only when hit
+    /** When a matching entry's fill is still in flight (the lookup
+     * reported a miss because now < ready_at), the cycle the entry
+     * becomes usable; 0 otherwise. Lets a blocked load schedule its
+     * re-evaluation instead of polling. */
+    sim::Cycle readyAt = 0;
 };
 
 /** ISV bits one cache entry carries (a 512-byte code region — 128
@@ -93,6 +98,11 @@ class IsvCache
         return t == 0 ? 0.0 : static_cast<double>(hits_) / t;
     }
 
+    /** Content generation: ticks on every fill and invalidation —
+     * anything that can change a lookup's outcome. LRU touches do
+     * not tick it. Used as a GateWake source. */
+    const std::uint64_t *genPtr() const { return &gen_; }
+
   private:
     struct Entry
     {
@@ -110,6 +120,7 @@ class IsvCache
     std::uint64_t useClock_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
+    std::uint64_t gen_ = 0;
 };
 
 /**
@@ -149,6 +160,9 @@ class DsvCache
         return t == 0 ? 0.0 : static_cast<double>(hits_) / t;
     }
 
+    /** Content generation (see IsvCache::genPtr). */
+    const std::uint64_t *genPtr() const { return &gen_; }
+
   private:
     struct Entry
     {
@@ -166,6 +180,7 @@ class DsvCache
     std::uint64_t useClock_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
+    std::uint64_t gen_ = 0;
 };
 
 } // namespace perspective::core

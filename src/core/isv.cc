@@ -1,5 +1,6 @@
 #include "isv.hh"
 
+#include <bit>
 #include <cassert>
 
 namespace perspective::core
@@ -14,6 +15,28 @@ IsvView::IsvView(const Program &prog)
     numInsts_ = static_cast<std::size_t>(
         (prog.kernelTextEnd() - textBase_) / kInstBytes);
     bits_.assign((numInsts_ + 63) / 64, 0);
+    funcBits_.assign((prog.numFunctions() + 63) / 64, 0);
+}
+
+bool
+IsvView::funcBit(FuncId f) const
+{
+    std::size_t w = static_cast<std::size_t>(f) / 64;
+    if (w >= funcBits_.size())
+        return false;
+    return (funcBits_[w] >> (f % 64)) & 1;
+}
+
+void
+IsvView::setFuncBit(FuncId f, bool value)
+{
+    std::size_t w = static_cast<std::size_t>(f) / 64;
+    if (w >= funcBits_.size())
+        funcBits_.resize(w + 1, 0);
+    if (value)
+        funcBits_[w] |= 1ull << (f % 64);
+    else
+        funcBits_[w] &= ~(1ull << (f % 64));
 }
 
 std::size_t
@@ -40,7 +63,9 @@ IsvView::setFunctionBits(FuncId f, bool value)
 void
 IsvView::includeFunction(FuncId f)
 {
-    if (funcs_.insert(f).second) {
+    if (!funcBit(f)) {
+        setFuncBit(f, true);
+        ++numFuncs_;
         setFunctionBits(f, true);
         ++epoch_;
     }
@@ -49,7 +74,9 @@ IsvView::includeFunction(FuncId f)
 void
 IsvView::excludeFunction(FuncId f)
 {
-    if (funcs_.erase(f) > 0) {
+    if (funcBit(f)) {
+        setFuncBit(f, false);
+        --numFuncs_;
         setFunctionBits(f, false);
         ++epoch_;
     }
@@ -69,26 +96,51 @@ IsvView::contains(Addr pc) const
 bool
 IsvView::containsFunction(FuncId f) const
 {
-    return funcs_.count(f) > 0;
+    return funcBit(f);
 }
 
 void
 IsvView::intersectWith(const IsvView &other)
 {
-    std::vector<FuncId> drop;
-    for (FuncId f : funcs_) {
-        if (!other.containsFunction(f))
-            drop.push_back(f);
+    for (std::size_t w = 0; w < funcBits_.size(); ++w) {
+        std::uint64_t theirs =
+            w < other.funcBits_.size() ? other.funcBits_[w] : 0;
+        std::uint64_t drop = funcBits_[w] & ~theirs;
+        while (drop) {
+            unsigned b = std::countr_zero(drop);
+            drop &= drop - 1;
+            excludeFunction(static_cast<FuncId>(w * 64 + b));
+        }
     }
-    for (FuncId f : drop)
-        excludeFunction(f);
 }
 
 void
 IsvView::unionWith(const IsvView &other)
 {
-    for (FuncId f : other.funcs_)
-        includeFunction(f);
+    for (std::size_t w = 0; w < other.funcBits_.size(); ++w) {
+        std::uint64_t add = other.funcBits_[w];
+        while (add) {
+            unsigned b = std::countr_zero(add);
+            add &= add - 1;
+            includeFunction(static_cast<FuncId>(w * 64 + b));
+        }
+    }
+}
+
+std::vector<FuncId>
+IsvView::functions() const
+{
+    std::vector<FuncId> out;
+    out.reserve(numFuncs_);
+    for (std::size_t w = 0; w < funcBits_.size(); ++w) {
+        std::uint64_t word = funcBits_[w];
+        while (word) {
+            unsigned b = std::countr_zero(word);
+            word &= word - 1;
+            out.push_back(static_cast<FuncId>(w * 64 + b));
+        }
+    }
+    return out;
 }
 
 std::array<std::uint64_t, 2>

@@ -16,7 +16,6 @@
 
 #include <array>
 #include <cstdint>
-#include <unordered_set>
 #include <vector>
 
 #include "sim/program.hh"
@@ -62,13 +61,10 @@ class IsvView
     void unionWith(const IsvView &other);
 
     /** Number of kernel functions currently included. */
-    std::size_t numFunctions() const { return funcs_.size(); }
+    std::size_t numFunctions() const { return numFuncs_; }
 
-    /** Included function ids (for audits and reporting). */
-    const std::unordered_set<sim::FuncId> &functions() const
-    {
-        return funcs_;
-    }
+    /** Included function ids, ascending (for audits/reporting). */
+    std::vector<sim::FuncId> functions() const;
 
     /**
      * The per-instruction ISV bits covering the code region of
@@ -87,12 +83,18 @@ class IsvView
   private:
     std::size_t bitIndex(sim::Addr pc) const;
     void setFunctionBits(sim::FuncId f, bool value);
+    bool funcBit(sim::FuncId f) const;
+    void setFuncBit(sim::FuncId f, bool value);
 
     const sim::Program &prog_;
     sim::Addr textBase_;
     std::size_t numInsts_;
     std::vector<std::uint64_t> bits_;
-    std::unordered_set<sim::FuncId> funcs_;
+    /** FuncId-indexed membership bitvector — kernel FuncIds are
+     * dense by construction in Program::layout, so this replaces
+     * the former unordered_set with a single word index. */
+    std::vector<std::uint64_t> funcBits_;
+    std::size_t numFuncs_ = 0;
     std::uint64_t epoch_ = 0;
 };
 

@@ -40,6 +40,9 @@ PerspectivePolicy::registerContext(sim::Asid asid, DomainId domain,
     c.isv = isv;
     c.isvEpochSeen = isv ? isv->epoch() : 0;
     contexts_[asid] = c;
+    ctxMruCtx_ = nullptr;
+    ctxMruTree_ = nullptr;
+    ++contextsGen_;
 
     // Materialize the domain's DSVMT from current ownership (the OS
     // builds the in-memory table when the context is created); the
@@ -73,6 +76,45 @@ PerspectivePolicy::dsvmtOf(DomainId domain)
     return tree;
 }
 
+std::uint64_t
+PerspectivePolicy::dsvmtMruHits() const
+{
+    std::uint64_t n = 0;
+    for (const auto &[domain, tree] : dsvmts_)
+        n += tree.mruHits();
+    return n;
+}
+
+std::uint64_t
+PerspectivePolicy::dsvmtMruLookups() const
+{
+    std::uint64_t n = 0;
+    for (const auto &[domain, tree] : dsvmts_)
+        n += tree.mruLookups();
+    return n;
+}
+
+void
+PerspectivePolicy::resetDsvmtMruStats()
+{
+    for (auto &[domain, tree] : dsvmts_)
+        tree.resetMruStats();
+}
+
+void
+PerspectivePolicy::setStats(sim::StatSet *stats)
+{
+    SpeculationPolicy::setStats(stats);
+    if (!stats)
+        return;
+    ctrUnregistered_ =
+        stats->counter("perspective.fence.unregistered");
+    ctrIsvFence_ = stats->counter("perspective.fence.isv");
+    ctrIsvMiss_ = stats->counter("perspective.fence.isv_miss");
+    ctrDsvFence_ = stats->counter("perspective.fence.dsv");
+    ctrDsvMiss_ = stats->counter("perspective.fence.dsv_miss");
+}
+
 void
 PerspectivePolicy::noteHit(std::uint64_t &run,
                            const char *hist_name)
@@ -102,44 +144,78 @@ PerspectivePolicy::gateLoad(const SpecContext &ctx)
     }
     lastAsid_ = ctx.asid;
 
-    auto it = contexts_.find(ctx.asid);
-    if (it == contexts_.end()) {
-        // Unregistered context: conservatively block.
-        if (stats_)
-            stats_->inc("perspective.fence.unregistered");
-        return Gate::Block;
+    // Every load of a run resolves the same ASID: a one-entry MRU
+    // makes the common case pointer-stable and hash-free
+    // (unordered_map node addresses survive rehashing; the MRU is
+    // dropped whenever contexts_/dsvmts_ can change).
+    Context *c;
+    if (ctxMruCtx_ && ctxMruAsid_ == ctx.asid) {
+        c = ctxMruCtx_;
+    } else {
+        auto it = contexts_.find(ctx.asid);
+        if (it == contexts_.end()) {
+            // Unregistered context: conservatively block. The
+            // verdict only changes if the context gets registered.
+            if (stats_)
+                ctrUnregistered_.inc();
+            lastWake_ = sim::GateWake::untilInputs();
+            lastWake_.depend(&contextsGen_);
+            lastWake_.blockedTally =
+                stats_ ? &ctrUnregistered_ : nullptr;
+            return Gate::Block;
+        }
+        ctxMruAsid_ = ctx.asid;
+        ctxMruCtx_ = &it->second;
+        auto tit = dsvmts_.find(it->second.domain);
+        ctxMruTree_ = tit == dsvmts_.end() ? nullptr : &tit->second;
+        c = ctxMruCtx_;
     }
-    Context &c = it->second;
 
-    if (cfg_.enableIsv && c.isv) {
+    // Any Block below is released by an ISV/DSV cache fill or
+    // invalidation, a context-table change, or the speculation
+    // horizon (implicit); non-first re-checks bump no counters, so
+    // no tally is needed.
+    auto blockOnViews = [&](sim::Cycle recheck_at) {
+        lastWake_ = sim::GateWake::untilInputs();
+        lastWake_.depend(&contextsGen_);
+        if (cfg_.enableIsv)
+            lastWake_.depend(isvCache_.genPtr());
+        if (cfg_.enableDsv)
+            lastWake_.depend(dsvCache_.genPtr());
+        lastWake_.recheckAt = recheck_at;
+        return Gate::Block;
+    };
+
+    if (cfg_.enableIsv && c->isv) {
         // A reconfigured view invalidates this context's entries.
-        if (c.isvEpochSeen != c.isv->epoch()) {
+        if (c->isvEpochSeen != c->isv->epoch()) {
             isvCache_.invalidateAsid(ctx.asid);
-            c.isvEpochSeen = c.isv->epoch();
+            c->isvEpochSeen = c->isv->epoch();
         }
         HwLookup look = isvCache_.lookup(ctx.pc, ctx.asid, true,
                                          ctx.now, ctx.firstCheck);
         if (!look.hit) {
             if (ctx.firstCheck) {
                 IsvRegionBits bits;
-                bits.bits = c.isv->regionBits(
+                bits.bits = c->isv->regionBits(
                     ctx.pc, IsvCache::kRegionBytes);
                 isvCache_.fill(ctx.pc, ctx.asid, bits,
                                ctx.now + cfg_.fillLatency);
                 noteMiss(isvMissRun_);
                 if (stats_) {
-                    stats_->inc("perspective.fence.isv");
-                    stats_->inc("perspective.fence.isv_miss");
+                    ctrIsvFence_.inc();
+                    ctrIsvMiss_.inc();
                 }
+                return blockOnViews(ctx.now + cfg_.fillLatency);
             }
-            return Gate::Block;
+            return blockOnViews(look.readyAt);
         }
         if (ctx.firstCheck)
             noteHit(isvMissRun_, "isv_miss_burst");
         if (!look.allow) {
             if (stats_ && ctx.firstCheck)
-                stats_->inc("perspective.fence.isv");
-            return Gate::Block;
+                ctrIsvFence_.inc();
+            return blockOnViews(0);
         }
     }
 
@@ -149,26 +225,52 @@ PerspectivePolicy::gateLoad(const SpecContext &ctx)
         if (!look.hit) {
             if (ctx.firstCheck) {
                 dsvCache_.fill(ctx.dataVa, ctx.asid,
-                               inDsv(ctx.dataVa, c.domain),
+                               dsvFillValue(ctx.dataVa, c->domain),
                                ctx.now + cfg_.fillLatency);
                 noteMiss(dsvMissRun_);
                 if (stats_) {
-                    stats_->inc("perspective.fence.dsv");
-                    stats_->inc("perspective.fence.dsv_miss");
+                    ctrDsvFence_.inc();
+                    ctrDsvMiss_.inc();
                 }
+                return blockOnViews(ctx.now + cfg_.fillLatency);
             }
-            return Gate::Block;
+            return blockOnViews(look.readyAt);
         }
         if (ctx.firstCheck)
             noteHit(dsvMissRun_, "dsv_miss_burst");
         if (!look.allow) {
             if (stats_ && ctx.firstCheck)
-                stats_->inc("perspective.fence.dsv");
-            return Gate::Block;
+                ctrDsvFence_.inc();
+            return blockOnViews(0);
         }
     }
 
     return Gate::Allow;
+}
+
+bool
+PerspectivePolicy::dsvFillValue(sim::Addr va, DomainId domain)
+{
+    // The hardware DSV-cache refill walks the domain's in-memory
+    // DSVMT (the flat radix mirror — this is where the walk MRU
+    // earns its keep). Unknown-provenance frames have no per-domain
+    // entry; their verdict is the blockUnknown policy bit, exactly
+    // the inDsv predicate.
+    if (ctxMruTree_) {
+        bool v = ctxMruTree_->queryVa(va);
+        if (v)
+            return true;
+        if (!cfg_.blockUnknown)
+            return ownership_.ownerOfVa(va) == kDomainUnknown;
+        return false;
+    }
+    return inDsv(va, domain);
+}
+
+sim::GateWake
+PerspectivePolicy::gateWake(const SpecContext &)
+{
+    return lastWake_;
 }
 
 } // namespace perspective::core

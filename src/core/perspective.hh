@@ -75,6 +75,8 @@ class PerspectivePolicy : public sim::SpeculationPolicy
                          const IsvView *isv);
 
     sim::Gate gateLoad(const sim::SpecContext &ctx) override;
+    sim::GateWake gateWake(const sim::SpecContext &ctx) override;
+    void setStats(sim::StatSet *stats) override;
     const char *name() const override { return name_.c_str(); }
 
     IsvCache &isvCache() { return isvCache_; }
@@ -87,6 +89,13 @@ class PerspectivePolicy : public sim::SpeculationPolicy
     bool inDsv(sim::Addr va, kernel::DomainId domain) const;
 
     const PerspectiveConfig &config() const { return cfg_; }
+
+    /** Aggregate DSVMT walk MRU-granule telemetry over every
+     * per-domain mirror (the hardware fill path walks the mirror,
+     * so these count real DSV-fill traffic). */
+    std::uint64_t dsvmtMruHits() const;
+    std::uint64_t dsvmtMruLookups() const;
+    void resetDsvmtMruStats();
 
     /** Lookup-structure and context checkpoint. The ownership
      * listener wired at construction is identity, not state, and
@@ -112,6 +121,33 @@ class PerspectivePolicy : public sim::SpeculationPolicy
     std::unordered_map<sim::Asid, Context> contexts_;
     std::unordered_map<kernel::DomainId, Dsvmt> dsvmts_;
     sim::Asid lastAsid_ = 0;
+
+    /** Ticks whenever the context table changes (registerContext /
+     * restore); wakes loads blocked on an unregistered ASID. */
+    std::uint64_t contextsGen_ = 0;
+
+    /** One-entry MRU over contexts_ — gateLoad resolves the same
+     * ASID for every load of a run. Pointers into unordered_map
+     * nodes are stable; the MRU is dropped whenever the table can
+     * change (registerContext / restore). */
+    sim::Asid ctxMruAsid_ = 0;
+    Context *ctxMruCtx_ = nullptr;
+    Dsvmt *ctxMruTree_ = nullptr;
+
+    /** Wake spec of the most recent Block verdict (see gateWake). */
+    sim::GateWake lastWake_;
+
+    // Cached hot-path counter handles (resolved in setStats).
+    sim::Counter ctrUnregistered_;
+    sim::Counter ctrIsvFence_;
+    sim::Counter ctrIsvMiss_;
+    sim::Counter ctrDsvFence_;
+    sim::Counter ctrDsvMiss_;
+
+    /** DSV-cache refill value for @p va: walk the domain's DSVMT
+     * mirror (MRU-cached), falling back to the ownership ground
+     * truth when no mirror exists. Equals inDsv by construction. */
+    bool dsvFillValue(sim::Addr va, kernel::DomainId domain);
 
     /** Record a miss (or a run-ending hit) on one view cache and
      * sample completed burst lengths into @p hist_name. */
@@ -152,6 +188,11 @@ PerspectivePolicy::restore(const Snapshot &s)
     lastAsid_ = s.lastAsid;
     isvMissRun_ = s.isvMissRun;
     dsvMissRun_ = s.dsvMissRun;
+    // Restore happens between runs (empty ROB — no blocked load holds
+    // a stale wake snapshot), but the MRU pointers now dangle.
+    ctxMruCtx_ = nullptr;
+    ctxMruTree_ = nullptr;
+    ++contextsGen_;
 }
 
 } // namespace perspective::core

@@ -1,0 +1,140 @@
+#include "views_ref.hh"
+
+#include <algorithm>
+
+namespace perspective::core
+{
+
+using kernel::Pfn;
+using sim::FuncId;
+
+void
+DsvmtRef::setPage(Pfn pfn, bool in_dsv)
+{
+    // Demoting a huge mapping materializes nothing: leaf bits take
+    // precedence when present, so just write the leaf.
+    Leaf &leaf = leaves_[granuleOf(pfn)];
+    unsigned bit = pfn & 511;
+    if (in_dsv)
+        leaf[bit / 64] |= 1ull << (bit % 64);
+    else
+        leaf[bit / 64] &= ~(1ull << (bit % 64));
+}
+
+void
+DsvmtRef::set2M(Pfn first_pfn, bool in_dsv)
+{
+    leaves_.erase(granuleOf(first_pfn));
+    huge2m_[granuleOf(first_pfn)] = in_dsv;
+}
+
+void
+DsvmtRef::set1G(Pfn first_pfn, bool in_dsv)
+{
+    huge1g_[gigOf(first_pfn)] = in_dsv;
+}
+
+bool
+DsvmtRef::queryPfn(Pfn pfn) const
+{
+    auto leaf = leaves_.find(granuleOf(pfn));
+    if (leaf != leaves_.end()) {
+        unsigned bit = pfn & 511;
+        return (leaf->second[bit / 64] >> (bit % 64)) & 1;
+    }
+    auto h2 = huge2m_.find(granuleOf(pfn));
+    if (h2 != huge2m_.end())
+        return h2->second;
+    auto h1 = huge1g_.find(gigOf(pfn));
+    if (h1 != huge1g_.end())
+        return h1->second;
+    return false;
+}
+
+bool
+DsvmtRef::queryVa(sim::Addr va) const
+{
+    if (!kernel::inDirectMap(va))
+        return false;
+    return queryPfn(kernel::directMapPfn(va));
+}
+
+unsigned
+DsvmtRef::walkLevels(Pfn pfn) const
+{
+    if (leaves_.count(granuleOf(pfn)))
+        return 3;
+    if (huge2m_.count(granuleOf(pfn)))
+        return 2;
+    return 1;
+}
+
+std::size_t
+DsvmtRef::memoryBytes() const
+{
+    return leaves_.size() * sizeof(Leaf) +
+           huge2m_.size() * sizeof(std::uint64_t) +
+           huge1g_.size() * sizeof(std::uint64_t);
+}
+
+void
+DsvmtRef::clear()
+{
+    leaves_.clear();
+    huge2m_.clear();
+    huge1g_.clear();
+}
+
+bool
+IsvFuncSetRef::include(FuncId f)
+{
+    if (funcs_.insert(f).second) {
+        ++epoch_;
+        return true;
+    }
+    return false;
+}
+
+bool
+IsvFuncSetRef::exclude(FuncId f)
+{
+    if (funcs_.erase(f) > 0) {
+        ++epoch_;
+        return true;
+    }
+    return false;
+}
+
+bool
+IsvFuncSetRef::contains(FuncId f) const
+{
+    return funcs_.count(f) > 0;
+}
+
+void
+IsvFuncSetRef::intersectWith(const IsvFuncSetRef &other)
+{
+    std::vector<FuncId> drop;
+    for (FuncId f : funcs_)
+        if (!other.contains(f))
+            drop.push_back(f);
+    for (FuncId f : drop)
+        exclude(f);
+}
+
+void
+IsvFuncSetRef::unionWith(const IsvFuncSetRef &other)
+{
+    for (FuncId f : other.funcs_)
+        include(f);
+}
+
+std::vector<FuncId>
+IsvFuncSetRef::sortedFunctions() const
+{
+    std::vector<FuncId> out(funcs_.begin(), funcs_.end());
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+} // namespace perspective::core

@@ -31,11 +31,32 @@ class FencePolicy : public sim::SpeculationPolicy
         if (!ctx.speculative)
             return sim::Gate::Allow;
         if (stats_)
-            stats_->inc("fence.blocked_checks");
+            blockedChecks_.inc();
         return sim::Gate::Block;
     }
 
+    sim::GateWake
+    gateWake(const sim::SpecContext &) override
+    {
+        // The verdict only flips at the Visibility Point — the
+        // always-implicit speculation-horizon wake covers it.
+        sim::GateWake w = sim::GateWake::untilInputs();
+        w.blockedTally = stats_ ? &blockedChecks_ : nullptr;
+        return w;
+    }
+
+    void
+    setStats(sim::StatSet *stats) override
+    {
+        SpeculationPolicy::setStats(stats);
+        if (stats)
+            blockedChecks_ = stats->counter("fence.blocked_checks");
+    }
+
     const char *name() const override { return "fence"; }
+
+  private:
+    sim::Counter blockedChecks_;
 };
 
 /** Delay-on-Miss [Sakalis et al., ISCA'19]. */
@@ -48,11 +69,34 @@ class DomPolicy : public sim::SpeculationPolicy
         if (!ctx.speculative || ctx.l1dHit)
             return sim::Gate::Allow;
         if (stats_)
-            stats_->inc("dom.blocked_checks");
+            blockedChecks_.inc();
         return sim::Gate::Block;
     }
 
+    sim::GateWake
+    gateWake(const sim::SpecContext &ctx) override
+    {
+        // Verdict reads l1dHit: re-evaluate when the L1D's content
+        // changes (a fill by an older store/load can turn the miss
+        // into a hit) or at the Visibility Point.
+        sim::GateWake w = sim::GateWake::untilInputs();
+        w.depend(ctx.l1dContentGen);
+        w.blockedTally = stats_ ? &blockedChecks_ : nullptr;
+        return w;
+    }
+
+    void
+    setStats(sim::StatSet *stats) override
+    {
+        SpeculationPolicy::setStats(stats);
+        if (stats)
+            blockedChecks_ = stats->counter("dom.blocked_checks");
+    }
+
     const char *name() const override { return "dom"; }
+
+  private:
+    sim::Counter blockedChecks_;
 };
 
 /** Speculative Taint Tracking [Yu et al., MICRO'19]. */
@@ -65,11 +109,33 @@ class SttPolicy : public sim::SpeculationPolicy
         if (!ctx.speculative || !ctx.tainted)
             return sim::Gate::Allow;
         if (stats_)
-            stats_->inc("stt.blocked_checks");
+            blockedChecks_.inc();
         return sim::Gate::Block;
     }
 
+    sim::GateWake
+    gateWake(const sim::SpecContext &) override
+    {
+        // Taint only clears when the producing load stops being
+        // speculative, i.e. when the speculation horizon advances —
+        // already an implicit wake source.
+        sim::GateWake w = sim::GateWake::untilInputs();
+        w.blockedTally = stats_ ? &blockedChecks_ : nullptr;
+        return w;
+    }
+
+    void
+    setStats(sim::StatSet *stats) override
+    {
+        SpeculationPolicy::setStats(stats);
+        if (stats)
+            blockedChecks_ = stats->counter("stt.blocked_checks");
+    }
+
     const char *name() const override { return "stt"; }
+
+  private:
+    sim::Counter blockedChecks_;
 };
 
 /**

@@ -83,13 +83,16 @@ Cache::fill(Addr addr)
     victim->valid = true;
     victim->tag = tagOf(addr);
     victim->lru = ++useClock_;
+    ++contentGen_;
 }
 
 void
 Cache::flush(Addr addr)
 {
-    if (Line *line = findLine(addr))
+    if (Line *line = findLine(addr)) {
         line->valid = false;
+        ++contentGen_;
+    }
 }
 
 void
@@ -97,6 +100,7 @@ Cache::flushAll()
 {
     for (auto &line : lines_)
         line.valid = false;
+    ++contentGen_;
 }
 
 CacheHierarchy::CacheHierarchy(const CacheParams &l1i,

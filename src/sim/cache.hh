@@ -63,6 +63,13 @@ class Cache
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
 
+    /** Generation counter of the cache's *content*: ticks on every
+     * line install, eviction and flush, but never on an LRU-only
+     * touch (which cannot change what probe() returns). Blocked
+     * loads gated on presence (DOM) wake off this instead of
+     * re-probing every cycle. */
+    const std::uint64_t *contentGenPtr() const { return &contentGen_; }
+
   private:
     struct Line
     {
@@ -85,6 +92,7 @@ class Cache
     std::uint64_t useClock_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
+    std::uint64_t contentGen_ = 0;
 };
 
 /**

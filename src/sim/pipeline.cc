@@ -43,6 +43,8 @@ Pipeline::Pipeline(const Program &prog, Memory &mem,
     ctrFencesKernel_ = stats_.counter("fences.kernel");
     ctrMispredicts_ = stats_.counter("mispredicts");
     ctrSquashes_ = stats_.counter("squashes");
+    ctrGateChecks_ = stats_.counter("gate.checks");
+    ctrGateElided_ = stats_.counter("gate.elided");
 
     // Registered up front so every run — even one with no squash or
     // fence — reports the full set of distribution summaries.
@@ -343,8 +345,10 @@ Pipeline::tryIssueLoad(RobEntry &e)
         ctx.l1dHit = caches_.probeL1D(e.effAddr);
         ctx.now = now_;
         ctx.firstCheck = !e.counted;
+        ctx.l1dContentGen = caches_.l1d().contentGenPtr();
         SpeculationPolicy *pol = policy_ ? policy_ : &unsafe_;
         Gate g = pol->gateLoad(ctx);
+        ctrGateChecks_.inc();
         if (g == Gate::Block) {
             if (!e.counted) {
                 e.counted = true;
@@ -362,6 +366,7 @@ Pipeline::tryIssueLoad(RobEntry &e)
             }
             e.state = EState::Blocked;
             ctrBlockedCycles_.inc();
+            captureGateWake(e, ctx, *pol);
             return false;
         }
         if (g == Gate::AllowInvisible)
@@ -610,6 +615,41 @@ Pipeline::applyCommit(RobEntry &e)
     }
 }
 
+void
+Pipeline::captureGateWake(RobEntry &e, const SpecContext &ctx,
+                          SpeculationPolicy &pol)
+{
+    GateWake w = pol.gateWake(ctx);
+    e.wakeEvery = w.everyCycle;
+    e.wakeNumGens = static_cast<std::uint8_t>(w.numGens);
+    for (unsigned i = 0; i < w.numGens; ++i) {
+        e.wakeGen[i] = w.gen[i];
+        e.wakeGenSeen[i] = *w.gen[i];
+    }
+    e.wakeRecheckAt = w.recheckAt;
+    e.wakeHorizonGen = horizonGen_;
+    e.wakeTally = w.blockedTally;
+}
+
+bool
+Pipeline::gateWakeDue(const RobEntry &e) const
+{
+    if (e.wakeEvery)
+        return true;
+    // The horizon is an implicit wake source for every blocked load:
+    // its movement is what flips `speculative`, clears STT taint and
+    // releases the load at its Visibility Point.
+    if (e.wakeHorizonGen != horizonGen_)
+        return true;
+    if (e.wakeRecheckAt != 0 && now_ >= e.wakeRecheckAt)
+        return true;
+    for (unsigned i = 0; i < e.wakeNumGens; ++i) {
+        if (*e.wakeGen[i] != e.wakeGenSeen[i])
+            return true;
+    }
+    return false;
+}
+
 bool
 Pipeline::tryIssue(RobEntry &e)
 {
@@ -684,17 +724,38 @@ Pipeline::doExecute()
 
     // The Visibility Point horizon for this cycle's issue decisions:
     // oldest still-unresolved control op. Lazy cursor, not a scan.
-    oldestUnresolvedCtl_ = horizonSeq();
+    // Any movement ticks the generation that wakes blocked loads.
+    std::uint64_t h = horizonSeq();
+    if (h != oldestUnresolvedCtl_) {
+        oldestUnresolvedCtl_ = h;
+        ++horizonGen_;
+    }
 
     // 2) Issue: walk the ready queue (seq order, like the ROB scan)
-    // and compact out the entries that issued.
+    // and compact out the entries that issued. A policy-blocked
+    // entry whose wake conditions all held still is not re-gated;
+    // the elided call's accounting (blocked-cycle counter and the
+    // policy's per-call tally) is replicated so the stats are
+    // bit-identical to the every-cycle re-evaluation. Once the
+    // issue width is consumed, nothing downstream is attempted —
+    // the legacy scan short-circuited the same way.
     unsigned issues = 0;
     std::size_t keep = 0;
     for (std::size_t i = 0; i < readyQ_.size(); ++i) {
         RobEntry &e = *readyQ_[i].second;
-        if (issues < params_.width && tryIssue(e)) {
-            ++issues;
-            continue;
+        if (issues < params_.width) {
+            if (e.state == EState::Blocked && !gateWakeDue(e)) {
+                if (e.wakeTally)
+                    e.wakeTally->inc();
+                ctrBlockedCycles_.inc();
+                ctrGateElided_.inc();
+                readyQ_[keep++] = readyQ_[i];
+                continue;
+            }
+            if (tryIssue(e)) {
+                ++issues;
+                continue;
+            }
         }
         readyQ_[keep++] = readyQ_[i];
     }
@@ -714,7 +775,14 @@ Pipeline::doFetch()
     SpeculationPolicy *pol = policy_ ? policy_ : &unsafe_;
     unsigned n = 0;
     while (n < params_.width && rob_.size() < params_.robSize) {
-        const Function &f = prog_.func(fetch_.func);
+        // Pre-resolved micro-op stream: the function descriptor (and
+        // with it the op array and PC base) is re-resolved only when
+        // the front end redirects, not per fetched micro-op.
+        if (fetch_.func != fetchFuncCached_) {
+            fetchFuncCached_ = fetch_.func;
+            fetchFuncPtr_ = &prog_.func(fetch_.func);
+        }
+        const Function &f = *fetchFuncPtr_;
         assert(fetch_.idx < f.body.size() &&
                "fetch ran off a function body; bodies must end in ret");
         const MicroOp &op = f.body[fetch_.idx];

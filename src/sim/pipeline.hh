@@ -250,6 +250,20 @@ class Pipeline
         bool counted = false;   ///< fence already counted for stats
         bool invisible = false; ///< executed without cache fills
 
+        // Wake-driven gate re-evaluation (GateWake in policy.hh):
+        // snapshot of the blocking verdict's inputs, captured when
+        // the policy blocked this entry. While no wake condition
+        // holds, the per-cycle re-gate is elided with the exact
+        // accounting the suppressed call would have produced.
+        bool wakeEvery = true;
+        std::uint8_t wakeNumGens = 0;
+        Cycle wakeRecheckAt = 0;
+        std::uint64_t wakeHorizonGen = 0;
+        std::array<const std::uint64_t *, GateWake::kMaxGens>
+            wakeGen{};
+        std::array<std::uint64_t, GateWake::kMaxGens> wakeGenSeen{};
+        Counter *wakeTally = nullptr;
+
         /** Unready source-operand count; 0 = issue candidate. */
         std::uint8_t pendingSrcs = 0;
         /** Consumers to wake when this entry completes:
@@ -287,6 +301,9 @@ class Pipeline
     void enqueueReady(RobEntry &e);
     void onComplete(RobEntry &e);
     bool tryIssue(RobEntry &e);
+    bool gateWakeDue(const RobEntry &e) const;
+    void captureGateWake(RobEntry &e, const SpecContext &ctx,
+                         SpeculationPolicy &pol);
     std::uint64_t horizonSeq();
     void squashAfter(std::uint64_t seq);
     void rebuildRenameMap();
@@ -327,6 +344,8 @@ class Pipeline
     Counter ctrFencesKernel_;
     Counter ctrMispredicts_;
     Counter ctrSquashes_;
+    Counter ctrGateChecks_; ///< real policy gateLoad invocations
+    Counter ctrGateElided_; ///< per-cycle re-gates skipped by wakes
 
     // Distribution / time-series telemetry (registered once in the
     // constructor; pointees are stable map nodes inside stats_).
@@ -365,6 +384,15 @@ class Pipeline
     // Smallest seq of an unresolved control op (the Visibility Point
     // horizon), recomputed once per cycle from unresolvedCtls_.
     std::uint64_t oldestUnresolvedCtl_ = RobEntry::kNoSeq;
+    /** Ticks whenever oldestUnresolvedCtl_ changes: the implicit
+     * wake source of every blocked load (VP release, `speculative`
+     * flips, STT taint clears — all tied to horizon movement). */
+    std::uint64_t horizonGen_ = 0;
+
+    // Fetch fast path: the current function's descriptor, resolved
+    // once per front-end redirect instead of per micro-op.
+    FuncId fetchFuncCached_ = kNoFunc;
+    const Function *fetchFuncPtr_ = nullptr;
 
     // -- incremental scheduling structures --------------------------------
     // All are keyed/sorted by seq; RobEntry pointers are stable (the
@@ -374,9 +402,10 @@ class Pipeline
 
     /** Issue candidates (Waiting with ready operands, or Blocked),
      * sorted by seq. Entries leave only by issuing or by squash;
-     * blocked and conflict-stalled entries are re-attempted — and
-     * re-gated by the policy, which has accounting side effects —
-     * every cycle, exactly like the full-ROB scan did. */
+     * conflict-stalled entries are re-attempted every cycle, exactly
+     * like the full-ROB scan did. Policy-blocked entries are only
+     * re-gated when a wake condition holds (see GateWake); elided
+     * cycles replicate the suppressed call's accounting exactly. */
     std::vector<std::pair<std::uint64_t, RobEntry *>> readyQ_;
 
     /** Completion events (doneCycle, seq); min-heap. Squashed

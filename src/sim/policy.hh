@@ -9,6 +9,7 @@
 #ifndef PERSPECTIVE_SIM_POLICY_HH
 #define PERSPECTIVE_SIM_POLICY_HH
 
+#include <array>
 #include <cstdint>
 
 #include "stats.hh"
@@ -33,6 +34,72 @@ struct SpecContext
      * blocked loads are re-evaluated every cycle, and policies must
      * only bump attribution statistics once. */
     bool firstCheck = true;
+    /** Generation counter of the L1D's *content* (ticks whenever a
+     * line is installed, evicted or flushed — never on an LRU-only
+     * touch). A policy whose verdict reads l1dHit lists this in its
+     * GateWake so blocked loads re-evaluate only when a probe result
+     * could actually have changed. */
+    const std::uint64_t *l1dContentGen = nullptr;
+};
+
+/**
+ * What a Block verdict depends on — the wake-driven re-evaluation
+ * contract. After gateLoad returns Block, the pipeline asks the
+ * policy (gateWake) which inputs the verdict was computed from and
+ * then elides the per-cycle re-invocation until one of them changes:
+ *
+ *  - the speculation horizon (an older control op resolving) is
+ *    always an implicit wake source — it can flip `speculative`
+ *    and STT taint, and it is the release condition at the VP;
+ *  - each listed generation counter is compared against its value
+ *    at the blocking call; any tick forces a real re-evaluation;
+ *  - recheckAt forces one at a known future cycle (in-flight fill);
+ *  - everyCycle (the default) disables elision entirely — unknown
+ *    or stateful policies keep the exact legacy cadence.
+ *
+ * Elision must be invisible in the stats: a policy that bumps a
+ * counter on *every* blocking call points blockedTally at it, and
+ * the pipeline bumps the tally once per elided cycle, exactly as the
+ * suppressed call would have. Over-waking is always safe (a real
+ * re-evaluation bumps whatever the legacy call did); under-waking is
+ * a correctness bug — list every input the verdict can read.
+ */
+struct GateWake
+{
+    /** Re-evaluate every cycle (legacy behaviour; the default). */
+    bool everyCycle = true;
+
+    static constexpr unsigned kMaxGens = 4;
+    std::array<const std::uint64_t *, kMaxGens> gen{};
+    unsigned numGens = 0;
+
+    /** Cycle at which to force a re-evaluation regardless of the
+     * generation counters (0 = none). */
+    Cycle recheckAt = 0;
+
+    /** Bumped once per elided cycle to preserve per-call counter
+     * totals (may be null). Must stay valid while any load blocked
+     * under this wake spec is in flight. */
+    Counter *blockedTally = nullptr;
+
+    /** Switch to input-driven wakes and add a generation source. */
+    void
+    depend(const std::uint64_t *g)
+    {
+        everyCycle = false;
+        if (g && numGens < kMaxGens)
+            gen[numGens++] = g;
+    }
+
+    /** Input-driven with no generation sources: the verdict can only
+     * change with the speculation horizon (or recheckAt). */
+    static GateWake
+    untilInputs()
+    {
+        GateWake w;
+        w.everyCycle = false;
+        return w;
+    }
 };
 
 /** Verdicts a policy can return for a speculative transmitter. */
@@ -56,6 +123,20 @@ class SpeculationPolicy
 
     /** Decide whether the speculative transmitter may execute. */
     virtual Gate gateLoad(const SpecContext &ctx) = 0;
+
+    /**
+     * Describe what the Block verdict just returned by gateLoad
+     * depends on (see GateWake). Called by the pipeline immediately
+     * after a Block, with the same context. The default keeps the
+     * legacy every-cycle re-evaluation, so policies that do not
+     * implement the contract behave exactly as before.
+     */
+    virtual GateWake
+    gateWake(const SpecContext &ctx)
+    {
+        (void)ctx;
+        return {};
+    }
 
     /** Scheme name used in reports. */
     virtual const char *name() const = 0;
@@ -92,8 +173,10 @@ class SpeculationPolicy
      */
     virtual bool shadowStack() const { return false; }
 
-    /** Stats sink for fence-attribution counters. */
-    void setStats(StatSet *stats) { stats_ = stats; }
+    /** Stats sink for fence-attribution counters. Virtual so schemes
+     * can resolve cached Counter handles for their hot-path and
+     * GateWake tally counters when the sink attaches. */
+    virtual void setStats(StatSet *stats) { stats_ = stats; }
 
   protected:
     StatSet *stats_ = nullptr;

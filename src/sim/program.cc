@@ -48,6 +48,28 @@ Program::layout()
     }
     kernelTextEnd_ = kernel_cursor;
     std::sort(layoutIndex_.begin(), layoutIndex_.end());
+
+    // Page-granular resolve acceleration over the kernel text span
+    // (the only region resolve() is hot for).
+    kernelPageIdx_.clear();
+    if (kernelTextEnd_ > kKernelTextBase) {
+        std::size_t pages = static_cast<std::size_t>(
+            (kernelTextEnd_ - kKernelTextBase + kPageSize - 1) >>
+            kPageShift);
+        kernelPageIdx_.resize(pages);
+        for (std::size_t p = 0; p < pages; ++p) {
+            Addr page_va = kKernelTextBase + (Addr{p} << kPageShift);
+            auto it = std::upper_bound(
+                layoutIndex_.begin(), layoutIndex_.end(),
+                std::make_pair(page_va, kNoFunc));
+            std::size_t idx =
+                it == layoutIndex_.begin()
+                    ? 0
+                    : static_cast<std::size_t>(
+                          it - layoutIndex_.begin()) - 1;
+            kernelPageIdx_[p] = static_cast<std::uint32_t>(idx);
+        }
+    }
     laidOut_ = true;
 }
 
@@ -55,12 +77,27 @@ std::pair<FuncId, std::uint32_t>
 Program::resolve(Addr va) const
 {
     assert(laidOut_);
-    auto it = std::upper_bound(layoutIndex_.begin(), layoutIndex_.end(),
-                               std::make_pair(va, kNoFunc));
-    if (it == layoutIndex_.begin())
-        return {kNoFunc, 0};
-    --it;
-    const Function &f = funcs_[it->second];
+    std::size_t idx;
+    if (va >= kKernelTextBase && va < kernelTextEnd_ &&
+        !kernelPageIdx_.empty()) {
+        // Direct page-indexed lookup: jump to the last function at
+        // or below the page start, then walk the handful of
+        // functions packed into the page.
+        std::size_t slot = static_cast<std::size_t>(
+            (va - kKernelTextBase) >> kPageShift);
+        idx = kernelPageIdx_[slot];
+        while (idx + 1 < layoutIndex_.size() &&
+               layoutIndex_[idx + 1].first <= va)
+            ++idx;
+    } else {
+        auto it = std::upper_bound(layoutIndex_.begin(),
+                                   layoutIndex_.end(),
+                                   std::make_pair(va, kNoFunc));
+        if (it == layoutIndex_.begin())
+            return {kNoFunc, 0};
+        idx = static_cast<std::size_t>(it - layoutIndex_.begin()) - 1;
+    }
+    const Function &f = funcs_[layoutIndex_[idx].second];
     Addr end = f.base + Addr{f.body.size()} * kInstBytes;
     if (va < f.base || va >= end)
         return {kNoFunc, 0};

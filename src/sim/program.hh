@@ -87,6 +87,14 @@ class Program
 
     /** Sorted (base, id) pairs for resolve(). */
     std::vector<std::pair<Addr, FuncId>> layoutIndex_;
+
+    /** Direct page-indexed table over kernel text: for each 4 KiB
+     * page, the layoutIndex_ position of the last function whose
+     * base is at or below the page's first byte. resolve() starts
+     * there and walks the few functions packed into the page,
+     * instead of binary-searching the whole image per query. */
+    std::vector<std::uint32_t> kernelPageIdx_;
+
     Addr kernelTextEnd_ = kKernelTextBase;
     bool laidOut_ = false;
 };

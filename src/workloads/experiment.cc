@@ -280,6 +280,7 @@ Experiment::run(unsigned iterations, unsigned warmup)
     if (perspective_) {
         perspective_->isvCache().resetAccounting();
         perspective_->dsvCache().resetAccounting();
+        perspective_->resetDsvmtMruStats();
     }
 
     RunResult out;
@@ -295,6 +296,10 @@ Experiment::run(unsigned iterations, unsigned warmup)
     if (perspective_) {
         out.isvCacheHitRate = perspective_->isvCache().hitRate();
         out.dsvCacheHitRate = perspective_->dsvCache().hitRate();
+        // DSVMT-walk MRU-granule telemetry rides along in the cell
+        // stats so sweeps (and bench_report) can report it.
+        st.inc("dsvmt.mru.hits", perspective_->dsvmtMruHits());
+        st.inc("dsvmt.mru.lookups", perspective_->dsvmtMruLookups());
     }
     out.stats = st;
     return out;

@@ -1,8 +1,11 @@
 /**
  * @file
  * Golden-cycle regression test: pins the exact RunResult every scheme
- * produces for two tiny workloads at seed 42, captured from the
- * pre-fast-path simulator. Any change to simulated behaviour —
+ * produces for four workloads at seed 42, captured from the
+ * pre-fast-path simulator. Together the workloads cover every
+ * front-end path: getpid (plain syscall), mmap (allocation-heavy),
+ * read (VFS indirect calls -> retpolines under SPOT), ctx-switch
+ * (KPTI trampolines and shadow-stack returns under SPEC-CFI). Any change to simulated behaviour —
  * scheduling, memory, caches, predictors, policies — that shifts a
  * single cycle, fence or hit-rate digit fails here. Performance work
  * must be observationally equivalent; intentional model changes must
@@ -68,6 +71,39 @@ constexpr Golden kMmapGolden[] = {
      0.97490589711417819},
 };
 
+// read drives the VFS indirect-call path, so it is the only table
+// where SPOT's retpoline conversion costs cycles (1864 vs 1576) —
+// pinning the retpoline front-end transform exactly.
+constexpr Golden kReadGolden[] = {
+    {Scheme::Unsafe, 1576, 5088, 4976, 0, 0, 0, 0, 0},
+    {Scheme::Fence, 1832, 5088, 4976, 656, 0, 0, 0, 0},
+    {Scheme::Dom, 1576, 5088, 4976, 0, 0, 0, 0, 0},
+    {Scheme::Stt, 1576, 5088, 4976, 176, 0, 0, 0, 0},
+    {Scheme::Spot, 1864, 5088, 4976, 0, 0, 0, 0, 0},
+    {Scheme::SpecCfi, 1576, 5088, 4976, 0, 0, 0, 0, 0},
+    {Scheme::PerspectiveStatic, 1576, 5088, 4976, 128, 72, 56, 1,
+     0.99884259259259256},
+    {Scheme::Perspective, 1576, 5088, 4976, 64, 0, 64, 1,
+     0.99895833333333328},
+    {Scheme::PerspectivePlusPlus, 1576, 5088, 4976, 64, 0, 64, 1,
+     0.99895833333333328},
+};
+
+// ctx-switch crosses the KPTI kernel entry/exit trampolines and the
+// shadow-stack return checks, covering the SpecCfi front-end path
+// and the ASID-tagged view-cache behaviour across address spaces.
+constexpr Golden kCtxSwitchGolden[] = {
+    {Scheme::Unsafe, 1320, 6008, 5896, 0, 0, 0, 0, 0},
+    {Scheme::Fence, 1720, 6008, 5896, 872, 0, 0, 0, 0},
+    {Scheme::Dom, 1320, 6008, 5896, 0, 0, 0, 0, 0},
+    {Scheme::Stt, 1320, 6008, 5896, 224, 0, 0, 0, 0},
+    {Scheme::Spot, 1480, 6008, 5896, 0, 0, 0, 0, 0},
+    {Scheme::SpecCfi, 1320, 6008, 5896, 0, 0, 0, 0, 0},
+    {Scheme::PerspectiveStatic, 1320, 6008, 5896, 72, 0, 72, 1, 1},
+    {Scheme::Perspective, 1320, 6008, 5896, 72, 0, 72, 1, 1},
+    {Scheme::PerspectivePlusPlus, 1320, 6008, 5896, 72, 0, 72, 1, 1},
+};
+
 const WorkloadProfile &
 profileNamed(const char *name)
 {
@@ -110,4 +146,20 @@ TEST(Golden, MmapAllSchemes)
         << "allSchemes() changed; extend the golden table";
     for (const Golden &g : kMmapGolden)
         checkGolden("mmap", g);
+}
+
+TEST(Golden, ReadAllSchemes)
+{
+    ASSERT_EQ(std::size(kReadGolden), allSchemes().size())
+        << "allSchemes() changed; extend the golden table";
+    for (const Golden &g : kReadGolden)
+        checkGolden("read", g);
+}
+
+TEST(Golden, CtxSwitchAllSchemes)
+{
+    ASSERT_EQ(std::size(kCtxSwitchGolden), allSchemes().size())
+        << "allSchemes() changed; extend the golden table";
+    for (const Golden &g : kCtxSwitchGolden)
+        checkGolden("ctx-switch", g);
 }
