@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Runtime pliability sweep: the three dynamic-update scenarios
+ * (DSV revocation mid-flight, module load with incremental ISV
+ * recomputation, admin fleet flip) driven end-to-end with real PoC
+ * attacks racing each update window.
+ *
+ * Each cell emits the first-class update metrics — the
+ * "update_latency" and "transient_gap_cycles" histograms plus the
+ * "perspective.revocation.stale_allows" counter — alongside the
+ * scenario outcome (which attack phases leaked). The security
+ * contract each scenario must satisfy:
+ *
+ *  - revocation: revoked data is unreachable once the gap closes;
+ *  - module load: the pre-update gap is on the safe side, and the
+ *    ISV++ audit re-closes the surface a plain extension opens;
+ *  - fleet flip: the lax-setting leak dies once contexts sync.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "attacks/poc.hh"
+#include "attacks/races.hh"
+#include "common.hh"
+#include "harness/sweep.hh"
+#include "workloads/experiment.hh"
+
+using namespace perspective;
+using namespace perspective::bench;
+using namespace perspective::harness;
+using namespace perspective::workloads;
+
+namespace
+{
+
+using ScenarioFn = attacks::RaceResult (*)(Experiment &);
+
+SweepCell
+scenarioCell(const char *name, ScenarioFn fn)
+{
+    SweepCell c;
+    c.profile = attacks::pocProfile();
+    c.scheme = Scheme::Perspective;
+    c.iterations = 1;
+    c.warmup = 0;
+    c.tags = {{"pliability", name}};
+    c.body = [fn](const SweepCell &cell) {
+        Experiment e(cell.profile, Scheme::Perspective, cell.seed);
+        attacks::RaceResult race = fn(e);
+        RunResult r;
+        r.cycles = e.pipeline().now();
+        r.stats = e.pipeline().stats();
+        r.stats.inc("race.leaked_before_update",
+                    race.leakedBeforeUpdate);
+        r.stats.inc("race.leaked_in_window", race.leakedInWindow);
+        r.stats.inc("race.leaked_after_update",
+                    race.leakedAfterUpdate);
+        r.stats.inc("race.leaked_after_audit", race.leakedAfterAudit);
+        r.stats.inc("race.update_latency_cycles",
+                    race.updateLatency);
+        r.stats.inc("race.stale_allows", race.staleAllows);
+        return r;
+    };
+    return c;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    SweepOptions opts =
+        parseSweepArgs("bench_pliability", argc, argv);
+    SweepRunner sweep(opts);
+
+    std::vector<SweepCell> cells = {
+        scenarioCell("revocation", attacks::raceRevocation),
+        scenarioCell("module-load", attacks::raceModuleLoad),
+        scenarioCell("fleet-flip", attacks::raceFleetFlip),
+    };
+
+    auto results = sweep.run(cells);
+
+    if (renderTables(sweep)) {
+        banner("Dynamic-update races (Perspective)");
+        std::printf("%-12s %8s %8s %8s %8s %12s %8s\n", "scenario",
+                    "before", "window", "after", "audit",
+                    "upd-cycles", "stale");
+        rule(72);
+        for (const auto &res : results) {
+            if (!res.ok) {
+                std::printf("%-12s FAILED: %s\n",
+                            res.tags.at("pliability").c_str(),
+                            res.error.c_str());
+                continue;
+            }
+            const auto &st = res.result.stats;
+            std::printf(
+                "%-12s %8llu %8llu %8llu %8llu %12llu %8llu\n",
+                res.tags.at("pliability").c_str(),
+                (unsigned long long)st.get(
+                    "race.leaked_before_update"),
+                (unsigned long long)st.get("race.leaked_in_window"),
+                (unsigned long long)st.get(
+                    "race.leaked_after_update"),
+                (unsigned long long)st.get("race.leaked_after_audit"),
+                (unsigned long long)st.get(
+                    "race.update_latency_cycles"),
+                (unsigned long long)st.get("race.stale_allows"));
+        }
+    }
+
+    bool ok = sweep.emitOutputs();
+    for (const auto &res : results)
+        ok = ok && res.ok;
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Attack scenarios racing the dynamic-update window.
+ *
+ * Perspective's views are live state: modules load, allocations
+ * change hands, administrators tighten enforcement fleet-wide. Each
+ * scenario here drives one update flow end-to-end on the simulator
+ * and probes the transient gap around it with a real PoC attack:
+ *
+ *  - raceRevocation: an ownership handoff (free/realloc) while the
+ *    attacker holds warm stale DSV verdicts. With a nonzero
+ *    revocation latency the attacker can still leak the new owner's
+ *    data *inside* the window; once the shootdown lands the data
+ *    must be unreachable.
+ *  - raceModuleLoad: insmod binds new text into an ops table. Until
+ *    the incremental ISV update lands the gap is on the *safe* side
+ *    (the module is unreachable speculatively); after a plain
+ *    extension the attack surface grows to include the module's
+ *    gadget, and only an ISV++ load-time audit closes it again.
+ *  - raceFleetFlip: the admin forces blockUnknown on system-wide
+ *    (DEXCR-style). A leak that worked under the lax per-tenant
+ *    setting must stop once contexts synchronize with the flip.
+ */
+
+#ifndef PERSPECTIVE_ATTACKS_RACES_HH
+#define PERSPECTIVE_ATTACKS_RACES_HH
+
+#include "workloads/experiment.hh"
+
+namespace perspective::attacks
+{
+
+/** Outcome of one update-race scenario. */
+struct RaceResult
+{
+    /** Attack attempted before the update was requested (module
+     * load: after insmod, before the ISV update landed). */
+    bool leakedBeforeUpdate = false;
+    /** Attack attempted inside the open transient window. */
+    bool leakedInWindow = false;
+    /** Attack attempted after the update fully landed. */
+    bool leakedAfterUpdate = false;
+    /** Module-load only: after the ISV++ load-time audit. */
+    bool leakedAfterAudit = false;
+    /** Modeled latency of the update (also sampled into the
+     * "update_latency" sweep histogram). */
+    sim::Cycle updateLatency = 0;
+    /** Loads allowed on a stale DSV verdict during the window. */
+    std::uint64_t staleAllows = 0;
+};
+
+/** DSV ownership handoff raced mid-flight. @p e must be built with
+ * pocProfile() and a Perspective scheme; the scenario installs its
+ * own policy (nonzero revocationLatency) for its duration. */
+RaceResult raceRevocation(workloads::Experiment &e);
+
+/** Module load racing the incremental ISV recomputation. */
+RaceResult raceModuleLoad(workloads::Experiment &e);
+
+/** Admin fleet flip racing running contexts. */
+RaceResult raceFleetFlip(workloads::Experiment &e);
+
+} // namespace perspective::attacks
+
+#endif // PERSPECTIVE_ATTACKS_RACES_HH

@@ -74,6 +74,18 @@ void
 Dsvmt::set1G(Pfn first_pfn, bool in_dsv)
 {
     GigNode &g = gigFor(gigOf(first_pfn));
+    // Installing a region entry replaces every finer-grained mapping
+    // beneath it (same direction as set2M dropping its leaf): a stale
+    // leaf or 2 MB entry from before the promotion must not shadow
+    // the newer 1 GB verdict. Only a *later* setPage/set2M demotes.
+    if (g.liveLeaves != 0) {
+        for (unsigned slot = 0; slot < 512; ++slot)
+            freeLeaf(g, slot);
+    }
+    if (g.live2m != 0) {
+        g.huge2m.fill(HugeState::Absent);
+        g.live2m = 0;
+    }
     g.huge1g = in_dsv ? HugeState::In : HugeState::Out;
     invalidateMru();
 }

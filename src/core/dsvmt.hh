@@ -39,10 +39,13 @@ class Dsvmt
     /** Mark the 4 KB page @p pfn as in/out of the DSV. */
     void setPage(kernel::Pfn pfn, bool in_dsv);
 
-    /** Promote an aligned 2 MB region (512 pages) wholesale. */
+    /** Promote an aligned 2 MB region (512 pages) wholesale,
+     * replacing any leaf it previously held. */
     void set2M(kernel::Pfn first_pfn, bool in_dsv);
 
-    /** Promote an aligned 1 GB region wholesale. */
+    /** Promote an aligned 1 GB region wholesale, replacing every
+     * leaf and 2 MB entry beneath it (newest installation wins; a
+     * later setPage/set2M re-demotes). */
     void set1G(kernel::Pfn first_pfn, bool in_dsv);
 
     /** Query a direct-map VA. */

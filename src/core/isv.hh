@@ -78,6 +78,13 @@ class IsvView
      * entries can be shot down. */
     std::uint64_t epoch() const { return epoch_; }
 
+    /** Stable pointer to the epoch — a GateWake generation source, so
+     * a load blocked on an ISV verdict re-gates as soon as the view is
+     * reconfigured (swift patching, module load) even if no other
+     * gate check runs in between. The view must outlive any blocked
+     * load holding this pointer (views live for the whole run). */
+    const std::uint64_t *epochPtr() const { return &epoch_; }
+
     const sim::Program &program() const { return prog_; }
 
   private:

@@ -58,6 +58,35 @@ StaticIsvBuilder::build(const std::set<Sys> &syscalls) const
     return view;
 }
 
+StaticIsvBuilder::ExtendStats
+StaticIsvBuilder::extendView(IsvView &view,
+                             const std::vector<FuncId> &roots) const
+{
+    ExtendStats st;
+    std::deque<FuncId> work;
+    std::unordered_set<FuncId> queued;
+    for (FuncId r : roots) {
+        ++st.visited;
+        if (!view.containsFunction(r) && queued.insert(r).second)
+            work.push_back(r);
+    }
+    while (!work.empty()) {
+        FuncId f = work.front();
+        work.pop_front();
+        view.includeFunction(f);
+        ++st.added;
+        for (FuncId c : img_.info(f).callees) {
+            ++st.visited;
+            // Already-included functions bound the delta: their own
+            // closure is in the view by construction, so the walk
+            // stops at the frontier instead of re-crawling it.
+            if (!view.containsFunction(c) && queued.insert(c).second)
+                work.push_back(c);
+        }
+    }
+    return st;
+}
+
 IsvView
 DynamicIsvBuilder::build() const
 {

@@ -52,6 +52,30 @@ class StaticIsvBuilder
     /** Build the static ISV for an application's syscall set. */
     IsvView build(const std::set<kernel::Sys> &syscalls) const;
 
+    /** Work done by one incremental view update (latency model). */
+    struct ExtendStats
+    {
+        std::size_t added = 0;   ///< functions newly included
+        std::size_t visited = 0; ///< call-graph edges examined
+    };
+
+    /**
+     * Incremental ISV recomputation for a dynamic extension (module /
+     * eBPF-program load): extend @p view with everything newly
+     * reachable from @p roots by a delta BFS over the static call
+     * graph that never crosses a function already in the view. Cost
+     * is proportional to the *new* subgraph, not the whole closure —
+     * for a closure-built view this equals a full rebuild from
+     * old-roots ∪ roots.
+     *
+     * Caveat: the traversal re-includes functions an audit previously
+     * excluded if they are reachable from @p roots; callers enforcing
+     * ISV++ must re-run applyAudit() on the extension's gadget set
+     * (exactly what a load-time scan would do).
+     */
+    ExtendStats extendView(IsvView &view,
+                           const std::vector<sim::FuncId> &roots) const;
+
   private:
     const kernel::KernelImage &img_;
 };
@@ -95,6 +119,25 @@ class DynamicIsvBuilder
  */
 void applyAudit(IsvView &view,
                 const std::vector<sim::FuncId> &vulnerable);
+
+/** @name Modeled ISV-update latency
+ * Cycle cost of one incremental recomputation: a base (update syscall
+ * + ISV-cache shootdown IPI) plus per-function shadow-bitmap writes
+ * and per-edge call-graph walk work. Sampled into the
+ * "update_latency" sweep metric by the pliability scenarios.
+ * @{ */
+inline constexpr sim::Cycle kIsvUpdateBase = 400;
+inline constexpr sim::Cycle kIsvUpdatePerFunc = 18;
+inline constexpr sim::Cycle kIsvUpdatePerEdge = 3;
+
+inline sim::Cycle
+isvUpdateLatency(const StaticIsvBuilder::ExtendStats &st)
+{
+    return kIsvUpdateBase +
+           kIsvUpdatePerFunc * static_cast<sim::Cycle>(st.added) +
+           kIsvUpdatePerEdge * static_cast<sim::Cycle>(st.visited);
+}
+/** @} */
 
 } // namespace perspective::core
 

@@ -1,5 +1,10 @@
 #include "perspective.hh"
 
+#include <cassert>
+#include <stdexcept>
+
+#include "kernel/fleet.hh"
+
 namespace perspective::core
 {
 
@@ -20,8 +25,16 @@ PerspectivePolicy::PerspectivePolicy(kernel::OwnershipMap &ownership,
 {
     // Ownership changes shoot down stale DSV cache entries and the
     // per-domain DSVMT mirrors, the software/hardware contract of
-    // Section 6.1.
+    // Section 6.1. With a clock and a nonzero revocationLatency the
+    // shootdown is deferred instead: the kernel has already moved the
+    // frame, but the hardware keeps the old verdict until the
+    // pending revocation drains — the mid-flight window.
     ownership_.addListener([this](kernel::Pfn pfn) {
+        if (clock_ && cfg_.revocationLatency > 0) {
+            pending_.push_back(
+                {pfn, *clock_, *clock_ + cfg_.revocationLatency});
+            return;
+        }
         dsvCache_.invalidatePage(kernel::directMapVa(pfn));
         DomainId owner = ownership_.ownerOf(pfn);
         for (auto &[domain, tree] : dsvmts_) {
@@ -39,6 +52,7 @@ PerspectivePolicy::registerContext(sim::Asid asid, DomainId domain,
     c.domain = domain;
     c.isv = isv;
     c.isvEpochSeen = isv ? isv->epoch() : 0;
+    c.fleetSeen = fleetGen_;
     contexts_[asid] = c;
     ctxMruCtx_ = nullptr;
     ctxMruTree_ = nullptr;
@@ -70,10 +84,80 @@ PerspectivePolicy::inDsv(sim::Addr va, DomainId domain) const
 }
 
 const Dsvmt &
-PerspectivePolicy::dsvmtOf(DomainId domain)
+PerspectivePolicy::dsvmtOf(DomainId domain) const
 {
-    Dsvmt &tree = dsvmts_[domain];
-    return tree;
+    auto it = dsvmts_.find(domain);
+    if (it == dsvmts_.end()) {
+        throw std::out_of_range(
+            name_ + ": dsvmtOf(" + std::to_string(domain) +
+            "): no context was registered for this domain");
+    }
+    return it->second;
+}
+
+sim::Cycle
+PerspectivePolicy::fleetTighten(std::uint32_t aspect_bits,
+                                const IsvView *admin_isv)
+{
+    fleetBits_ |= aspect_bits;
+    if (admin_isv)
+        adminIsv_ = admin_isv;
+    ++fleetGen_;
+    sim::Cycle now = clock_ ? *clock_ : 0;
+    sim::Cycle lat =
+        kFleetFlipBase +
+        kFleetFlipPerContext * static_cast<sim::Cycle>(contexts_.size());
+    fleetFlipAt_ = now;
+    fleetVisibleAt_ = now + lat;
+    // Wake anything blocked under a pre-flip verdict; it re-gates and
+    // picks up the tightened value once past fleetVisibleAt_.
+    ++contextsGen_;
+    noteUpdateLatency(lat);
+    return lat;
+}
+
+void
+PerspectivePolicy::noteUpdateLatency(sim::Cycle latency)
+{
+    if (stats_)
+        stats_->histogram("update_latency").sample(latency);
+}
+
+void
+PerspectivePolicy::applyRevocation(const PendingRevocation &r,
+                                   sim::Cycle now)
+{
+    dsvCache_.invalidatePage(kernel::directMapVa(r.pfn));
+    DomainId owner = ownership_.ownerOf(r.pfn);
+    for (auto &[domain, tree] : dsvmts_) {
+        tree.setPage(r.pfn,
+                     owner == domain || owner == kDomainReplicated);
+    }
+    if (stats_) {
+        stats_->histogram("transient_gap_cycles")
+            .sample(now >= r.revokedAt ? now - r.revokedAt : 0);
+    }
+}
+
+void
+PerspectivePolicy::drainRevocations(sim::Cycle now)
+{
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+        if (pending_[i].applyAt <= now)
+            applyRevocation(pending_[i], now);
+        else
+            pending_[kept++] = pending_[i];
+    }
+    pending_.resize(kept);
+}
+
+void
+PerspectivePolicy::flushPendingRevocations()
+{
+    for (const PendingRevocation &r : pending_)
+        applyRevocation(r, clock_ ? *clock_ : r.applyAt);
+    pending_.clear();
 }
 
 std::uint64_t
@@ -113,6 +197,10 @@ PerspectivePolicy::setStats(sim::StatSet *stats)
     ctrIsvMiss_ = stats->counter("perspective.fence.isv_miss");
     ctrDsvFence_ = stats->counter("perspective.fence.dsv");
     ctrDsvMiss_ = stats->counter("perspective.fence.dsv_miss");
+    // Dynamic-update metrics ("update_latency",
+    // "transient_gap_cycles", "revocation.stale_allows") are created
+    // lazily at event time: static configurations must emit exactly
+    // the legacy stat set, bit for bit.
 }
 
 void
@@ -129,15 +217,33 @@ PerspectivePolicy::noteHit(std::uint64_t &run,
     run = 0;
 }
 
+bool
+PerspectivePolicy::effBlockUnknown(const Context &c) const
+{
+    if (cfg_.blockUnknown)
+        return true;
+    return fleetGen_ != 0 && c.fleetSeen == fleetGen_ &&
+           (fleetBits_ & kernel::kFleetBlockUnknown) != 0;
+}
+
 Gate
 PerspectivePolicy::gateLoad(const SpecContext &ctx)
 {
+    // Land any revocation whose shootdown latency has elapsed before
+    // this check reads the caches (empty in static configurations).
+    if (!pending_.empty())
+        drainRevocations(ctx.now);
+
     // Perspective protects kernel execution; userspace speculation
     // and non-speculative accesses proceed unimpeded.
     if (!ctx.kernelMode || !ctx.speculative)
         return Gate::Allow;
 
-    if (cfg_.flushOnContextSwitch && ctx.asid != lastAsid_) {
+    bool flush_on_switch =
+        cfg_.flushOnContextSwitch ||
+        ((fleetBits_ & kernel::kFleetFlushOnSwitch) != 0 &&
+         ctx.now >= fleetVisibleAt_);
+    if (flush_on_switch && ctx.asid != lastAsid_) {
         // Untagged hardware would have to flush on every switch.
         isvCache_.invalidateAll();
         dsvCache_.invalidateAll();
@@ -162,6 +268,7 @@ PerspectivePolicy::gateLoad(const SpecContext &ctx)
             lastWake_.depend(&contextsGen_);
             lastWake_.blockedTally =
                 stats_ ? &ctrUnregistered_ : nullptr;
+            noteBlock(ctx);
             return Gate::Block;
         }
         ctxMruAsid_ = ctx.asid;
@@ -171,18 +278,38 @@ PerspectivePolicy::gateLoad(const SpecContext &ctx)
         c = ctxMruCtx_;
     }
 
+    // Fleet sync (DEXCR model): a task picks up a tightened
+    // enforcement value at its first kernel gate check past the
+    // flip's visibility point; its cached verdicts were computed
+    // under the old value and are dropped.
+    if (c->fleetSeen != fleetGen_ && ctx.now >= fleetVisibleAt_) {
+        c->fleetSeen = fleetGen_;
+        isvCache_.invalidateAsid(ctx.asid);
+        dsvCache_.invalidateAll();
+        if (stats_) {
+            stats_->histogram("transient_gap_cycles")
+                .sample(ctx.now >= fleetFlipAt_
+                            ? ctx.now - fleetFlipAt_
+                            : 0);
+        }
+    }
+
     // Any Block below is released by an ISV/DSV cache fill or
-    // invalidation, a context-table change, or the speculation
-    // horizon (implicit); non-first re-checks bump no counters, so
-    // no tally is needed.
+    // invalidation, an ISV reconfiguration (epoch tick), a context-
+    // table change, or the speculation horizon (implicit); non-first
+    // re-checks bump no counters, so no tally is needed.
     auto blockOnViews = [&](sim::Cycle recheck_at) {
         lastWake_ = sim::GateWake::untilInputs();
         lastWake_.depend(&contextsGen_);
-        if (cfg_.enableIsv)
+        if (cfg_.enableIsv) {
             lastWake_.depend(isvCache_.genPtr());
+            if (c->isv)
+                lastWake_.depend(c->isv->epochPtr());
+        }
         if (cfg_.enableDsv)
             lastWake_.depend(dsvCache_.genPtr());
         lastWake_.recheckAt = recheck_at;
+        noteBlock(ctx);
         return Gate::Block;
     };
 
@@ -199,6 +326,15 @@ PerspectivePolicy::gateLoad(const SpecContext &ctx)
                 IsvRegionBits bits;
                 bits.bits = c->isv->regionBits(
                     ctx.pc, IsvCache::kRegionBytes);
+                if (adminIsv_ && c->fleetSeen == fleetGen_ &&
+                    (fleetBits_ & kernel::kFleetRestrictIsv) != 0) {
+                    // Admin restriction composes by intersection:
+                    // no tenant view may widen past the fleet view.
+                    auto admin = adminIsv_->regionBits(
+                        ctx.pc, IsvCache::kRegionBytes);
+                    bits.bits[0] &= admin[0];
+                    bits.bits[1] &= admin[1];
+                }
                 isvCache_.fill(ctx.pc, ctx.asid, bits,
                                ctx.now + cfg_.fillLatency);
                 noteMiss(isvMissRun_);
@@ -225,7 +361,7 @@ PerspectivePolicy::gateLoad(const SpecContext &ctx)
         if (!look.hit) {
             if (ctx.firstCheck) {
                 dsvCache_.fill(ctx.dataVa, ctx.asid,
-                               dsvFillValue(ctx.dataVa, c->domain),
+                               dsvFillValue(ctx.dataVa, *c),
                                ctx.now + cfg_.fillLatency);
                 noteMiss(dsvMissRun_);
                 if (stats_) {
@@ -243,33 +379,70 @@ PerspectivePolicy::gateLoad(const SpecContext &ctx)
                 ctrDsvFence_.inc();
             return blockOnViews(0);
         }
+
+        // The verdict says Allow — but is it stale? If a pending
+        // revocation covers this page and ground truth now denies it,
+        // this load is reading through the open transient window.
+        // (No firstCheck gate: a load that missed the DSV cache gets
+        // its Allow on a recheck, and Allow ends the recheck loop, so
+        // this fires once per resolved load either way.)
+        if (!pending_.empty()) {
+            kernel::Pfn pfn = kernel::directMapPfn(ctx.dataVa);
+            for (const PendingRevocation &r : pending_) {
+                if (r.pfn == pfn &&
+                    !inDsv(ctx.dataVa, c->domain)) {
+                    if (stats_) {
+                        stats_
+                            ->counter(
+                                "perspective.revocation.stale_allows")
+                            .inc();
+                    }
+                    break;
+                }
+            }
+        }
     }
 
     return Gate::Allow;
 }
 
 bool
-PerspectivePolicy::dsvFillValue(sim::Addr va, DomainId domain)
+PerspectivePolicy::dsvFillValue(sim::Addr va, const Context &c)
 {
     // The hardware DSV-cache refill walks the domain's in-memory
     // DSVMT (the flat radix mirror — this is where the walk MRU
     // earns its keep). Unknown-provenance frames have no per-domain
     // entry; their verdict is the blockUnknown policy bit, exactly
-    // the inDsv predicate.
+    // the inDsv predicate. During an open revocation window the
+    // mirror still holds the pre-handoff bit — by design.
+    bool block_unknown = effBlockUnknown(c);
     if (ctxMruTree_) {
         bool v = ctxMruTree_->queryVa(va);
         if (v)
             return true;
-        if (!cfg_.blockUnknown)
+        if (!block_unknown)
             return ownership_.ownerOfVa(va) == kDomainUnknown;
         return false;
     }
-    return inDsv(va, domain);
+    DomainId owner = ownership_.ownerOfVa(va);
+    if (owner == kDomainReplicated)
+        return true;
+    if (owner == kDomainUnknown)
+        return !block_unknown;
+    return owner == c.domain;
 }
 
 sim::GateWake
-PerspectivePolicy::gateWake(const SpecContext &)
+PerspectivePolicy::gateWake(const SpecContext &ctx)
 {
+    // The single-slot contract: this call must pair with the Block
+    // gateLoad just returned for the same instruction. A mismatch
+    // means some interleaved gate check overwrote lastWake_ and a
+    // blocked load is about to sleep on the wrong inputs.
+    assert(wakePairingMatches(ctx) &&
+           "gateWake unpaired with the preceding Block verdict");
+    (void)ctx;
+    wakeArmed_ = false;
     return lastWake_;
 }
 

@@ -16,6 +16,24 @@
  * Blocked instructions stall until their Visibility Point, exactly
  * the fence semantics of Section 6.2. Userspace execution and non-
  * speculative accesses are never affected.
+ *
+ * Pliability at runtime (the dynamic-update story): views are live
+ * data, not boot-time constants. Three update flows are modeled:
+ *
+ *  - ISV extension (module / eBPF load): the view object mutates and
+ *    its epoch ticks; blocked loads re-gate through the epoch wake
+ *    dependency and running contexts resync at their next check.
+ *  - DSV revocation (free / realloc ownership handoff): with
+ *    revocationLatency > 0 the shootdown is deferred — the DSV cache
+ *    and the DSVMT mirrors keep the *old* verdict until the pending
+ *    revocation drains, modeling the transient window in which an
+ *    in-flight speculative load can still read the revoked frame.
+ *    The window length is exported as "transient_gap_cycles" and
+ *    loads allowed on a stale verdict as "revocation.stale_allows".
+ *  - Fleet flip (admin tightens enforcement system-wide, DEXCR
+ *    style): fleetTighten ORs aspect bits in; each context syncs the
+ *    effective value at its first gate check past the flip's
+ *    visibility point, dropping its cached verdicts.
  */
 
 #ifndef PERSPECTIVE_CORE_PERSPECTIVE_HH
@@ -23,6 +41,7 @@
 
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "dsvmt.hh"
 #include "hwcache.hh"
@@ -51,7 +70,21 @@ struct PerspectiveConfig
      * every context switch. Section 6.2 tags entries with the ASID
      * precisely to avoid this; the ablation quantifies the win. */
     bool flushOnContextSwitch = false;
+    /** Cycles between an ownership change (free / realloc handoff)
+     * and its DSV shootdown landing. 0 keeps the legacy synchronous
+     * listener (caches and mirrors update in the same event);
+     * nonzero opens the mid-flight revocation window the pliability
+     * scenarios race. Requires setClock() to take effect. */
+    sim::Cycle revocationLatency = 0;
 };
+
+/** @name Modeled fleet-flip latency
+ * Cycle cost of an admin system-wide enforcement flip: a base (sysfs
+ * write + broadcast IPI) plus per-registered-context resync work.
+ * @{ */
+inline constexpr sim::Cycle kFleetFlipBase = 240;
+inline constexpr sim::Cycle kFleetFlipPerContext = 60;
+/** @} */
 
 /** The Perspective hardware mechanism. */
 class PerspectivePolicy : public sim::SpeculationPolicy
@@ -82,13 +115,68 @@ class PerspectivePolicy : public sim::SpeculationPolicy
     IsvCache &isvCache() { return isvCache_; }
     DsvCache &dsvCache() { return dsvCache_; }
 
-    /** Per-domain DSVMT mirror (kept in sync with ownership). */
-    const Dsvmt &dsvmtOf(kernel::DomainId domain);
+    /**
+     * Per-domain DSVMT mirror (kept in sync with ownership). Fails
+     * loudly on a domain no context was ever registered for — the
+     * old accessor default-inserted an empty tree, silently answering
+     * "nothing is in the DSV" for a typo'd domain.
+     * @throws std::out_of_range when @p domain has no mirror.
+     */
+    const Dsvmt &dsvmtOf(kernel::DomainId domain) const;
 
     /** Ground-truth DSV membership for @p va under @p domain. */
     bool inDsv(sim::Addr va, kernel::DomainId domain) const;
 
     const PerspectiveConfig &config() const { return cfg_; }
+
+    /** Wire the pipeline cycle counter; timestamps deferred
+     * revocations and fleet flips. Null (the default) keeps every
+     * update path synchronous. */
+    void setClock(const sim::Cycle *cycle) { clock_ = cycle; }
+
+    /** @name Dynamic updates
+     * @{ */
+
+    /** Admin fleet flip: OR @p aspect_bits (kernel/fleet.hh) into the
+     * system-wide enforcement value. @p admin_isv, when given, is the
+     * view intersected into ISV fills under kFleetRestrictIsv; it
+     * must outlive the policy. Returns the modeled flip latency
+     * (sampled into "update_latency"); contexts observe the new value
+     * at their first gate check past now + that latency. */
+    sim::Cycle fleetTighten(std::uint32_t aspect_bits,
+                            const IsvView *admin_isv = nullptr);
+
+    std::uint32_t fleetBits() const { return fleetBits_; }
+
+    /** Sample one modeled view-update latency into the
+     * "update_latency" sweep histogram (ISV extension flows compute
+     * theirs via isvUpdateLatency and report it here). */
+    void noteUpdateLatency(sim::Cycle latency);
+
+    /** Revocations scheduled but not yet landed (the open window). */
+    std::size_t pendingRevocations() const { return pending_.size(); }
+
+    /** Land every pending revocation immediately (window closed by
+     * fiat — used by tests and at end-of-scenario barriers). */
+    void flushPendingRevocations();
+
+    /** @} */
+
+    /** @name Single-slot wake-contract hardening
+     * gateWake must be called immediately after a Block verdict with
+     * the same context — lastWake_ is a single slot and any
+     * interleaving hands the wrong wake spec to a blocked load.
+     * Every Block arms a pairing token; gateWake asserts it matches
+     * (debug builds) and these accessors let tests check it in every
+     * build.
+     * @{ */
+    bool wakePairingMatches(const sim::SpecContext &ctx) const
+    {
+        return wakeArmed_ && ctx.pc == wakePc_ &&
+               ctx.dataVa == wakeVa_;
+    }
+    std::uint64_t wakeSeq() const { return wakeSeq_; }
+    /** @} */
 
     /** Aggregate DSVMT walk MRU-granule telemetry over every
      * per-domain mirror (the hardware fill path walks the mirror,
@@ -111,6 +199,18 @@ class PerspectivePolicy : public sim::SpeculationPolicy
         kernel::DomainId domain = kernel::kDomainUnknown;
         const IsvView *isv = nullptr;
         std::uint64_t isvEpochSeen = 0;
+        /** Fleet generation this context last synchronized with (the
+         * per-task DEXCR copy; 0 = boot value). */
+        std::uint64_t fleetSeen = 0;
+    };
+
+    /** One deferred DSV shootdown (ownership already changed in the
+     * kernel; caches and mirrors still hold the old verdict). */
+    struct PendingRevocation
+    {
+        kernel::Pfn pfn = 0;
+        sim::Cycle revokedAt = 0;
+        sim::Cycle applyAt = 0;
     };
 
     kernel::OwnershipMap &ownership_;
@@ -123,7 +223,8 @@ class PerspectivePolicy : public sim::SpeculationPolicy
     sim::Asid lastAsid_ = 0;
 
     /** Ticks whenever the context table changes (registerContext /
-     * restore); wakes loads blocked on an unregistered ASID. */
+     * restore) or a fleet flip is requested; wakes loads blocked on
+     * an unregistered ASID or a pre-flip verdict. */
     std::uint64_t contextsGen_ = 0;
 
     /** One-entry MRU over contexts_ — gateLoad resolves the same
@@ -137,6 +238,22 @@ class PerspectivePolicy : public sim::SpeculationPolicy
     /** Wake spec of the most recent Block verdict (see gateWake). */
     sim::GateWake lastWake_;
 
+    // Pairing token for the single-slot wake contract: armed on
+    // every Block, consumed (and checked) by gateWake.
+    std::uint64_t wakeSeq_ = 0;
+    bool wakeArmed_ = false;
+    sim::Addr wakePc_ = 0;
+    sim::Addr wakeVa_ = 0;
+
+    // Dynamic-update state.
+    const sim::Cycle *clock_ = nullptr;
+    std::vector<PendingRevocation> pending_;
+    std::uint32_t fleetBits_ = 0;
+    std::uint64_t fleetGen_ = 0;
+    sim::Cycle fleetFlipAt_ = 0;
+    sim::Cycle fleetVisibleAt_ = 0;
+    const IsvView *adminIsv_ = nullptr;
+
     // Cached hot-path counter handles (resolved in setStats).
     sim::Counter ctrUnregistered_;
     sim::Counter ctrIsvFence_;
@@ -144,10 +261,33 @@ class PerspectivePolicy : public sim::SpeculationPolicy
     sim::Counter ctrDsvFence_;
     sim::Counter ctrDsvMiss_;
 
-    /** DSV-cache refill value for @p va: walk the domain's DSVMT
-     * mirror (MRU-cached), falling back to the ownership ground
-     * truth when no mirror exists. Equals inDsv by construction. */
-    bool dsvFillValue(sim::Addr va, kernel::DomainId domain);
+    /** DSV-cache refill value for @p va under context @p c: walk the
+     * domain's DSVMT mirror (MRU-cached), falling back to the
+     * ownership ground truth when no mirror exists. During an open
+     * revocation window the mirror deliberately answers with the
+     * pre-handoff verdict. */
+    bool dsvFillValue(sim::Addr va, const Context &c);
+
+    /** Effective blockUnknown: the static config OR'd with a synced
+     * fleet enforcement (a context only observes the fleet value it
+     * has synchronized with). */
+    bool effBlockUnknown(const Context &c) const;
+
+    /** Land one pending revocation: shoot down the cached page and
+     * refresh every mirror from current ownership; samples the
+     * realized window into "transient_gap_cycles". */
+    void applyRevocation(const PendingRevocation &r, sim::Cycle now);
+    void drainRevocations(sim::Cycle now);
+
+    /** Arm the wake pairing token for a Block verdict on @p ctx. */
+    void
+    noteBlock(const sim::SpecContext &ctx)
+    {
+        ++wakeSeq_;
+        wakeArmed_ = true;
+        wakePc_ = ctx.pc;
+        wakeVa_ = ctx.dataVa;
+    }
 
     /** Record a miss (or a run-ending hit) on one view cache and
      * sample completed burst lengths into @p hist_name. */
@@ -169,13 +309,21 @@ struct PerspectivePolicy::Snapshot
     sim::Asid lastAsid = 0;
     std::uint64_t isvMissRun = 0;
     std::uint64_t dsvMissRun = 0;
+    std::vector<PendingRevocation> pending;
+    std::uint32_t fleetBits = 0;
+    std::uint64_t fleetGen = 0;
+    sim::Cycle fleetFlipAt = 0;
+    sim::Cycle fleetVisibleAt = 0;
+    const IsvView *adminIsv = nullptr;
 };
 
 inline PerspectivePolicy::Snapshot
 PerspectivePolicy::snapshot() const
 {
-    return {isvCache_, dsvCache_, contexts_, dsvmts_,
-            lastAsid_,  isvMissRun_, dsvMissRun_};
+    return {isvCache_,   dsvCache_,   contexts_,      dsvmts_,
+            lastAsid_,   isvMissRun_, dsvMissRun_,    pending_,
+            fleetBits_,  fleetGen_,   fleetFlipAt_,   fleetVisibleAt_,
+            adminIsv_};
 }
 
 inline void
@@ -188,10 +336,17 @@ PerspectivePolicy::restore(const Snapshot &s)
     lastAsid_ = s.lastAsid;
     isvMissRun_ = s.isvMissRun;
     dsvMissRun_ = s.dsvMissRun;
+    pending_ = s.pending;
+    fleetBits_ = s.fleetBits;
+    fleetGen_ = s.fleetGen;
+    fleetFlipAt_ = s.fleetFlipAt;
+    fleetVisibleAt_ = s.fleetVisibleAt;
+    adminIsv_ = s.adminIsv;
     // Restore happens between runs (empty ROB — no blocked load holds
     // a stale wake snapshot), but the MRU pointers now dangle.
     ctxMruCtx_ = nullptr;
     ctxMruTree_ = nullptr;
+    wakeArmed_ = false;
     ++contextsGen_;
 }
 

@@ -31,7 +31,17 @@ DsvmtRef::set2M(Pfn first_pfn, bool in_dsv)
 void
 DsvmtRef::set1G(Pfn first_pfn, bool in_dsv)
 {
-    huge1g_[gigOf(first_pfn)] = in_dsv;
+    // Newest installation wins: drop every leaf / 2 MB entry of the
+    // gig so nothing stale shadows the new region entry (mirrors the
+    // production tree's precedence fix).
+    std::uint64_t gig = gigOf(first_pfn);
+    std::uint64_t first_granule = gig << 9;
+    for (std::uint64_t gr = first_granule; gr < first_granule + 512;
+         ++gr) {
+        leaves_.erase(gr);
+        huge2m_.erase(gr);
+    }
+    huge1g_[gig] = in_dsv;
 }
 
 bool

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fleet-wide enforcement control, modeled on the DEXCR-style
+ * system-wide override (SNIPPETS.md: powerpc's Dynamic Execution
+ * Control Register): the administrator keeps one global enforcement
+ * value, every task keeps its own, and the kernel synchronizes the
+ * OR of the two on return to userspace. Writes to the global value
+ * can only *set* aspects — an admin "tighten every context now" flip
+ * can never be weakened by a task clearing its own bits (the sudo-
+ * downgrade scenario: a process that disables an aspect for itself
+ * and then execs a privileged binary still runs it enforced).
+ *
+ * Task values are inherited across fork and exec (Task::fleetBits,
+ * KernelState::forkProcess/execProcess); the policy-side timing of a
+ * flip — when running contexts actually observe the tightened value —
+ * lives in core::PerspectivePolicy::fleetTighten.
+ */
+
+#ifndef PERSPECTIVE_KERNEL_FLEET_HH
+#define PERSPECTIVE_KERNEL_FLEET_HH
+
+#include <cstdint>
+
+namespace perspective::kernel
+{
+
+/** Enforcement aspects an admin can force fleet-wide. */
+enum : std::uint32_t
+{
+    /** Block speculative access to unknown-provenance allocations
+     * (forces PerspectiveConfig::blockUnknown on). */
+    kFleetBlockUnknown = 1u << 0,
+    /** Flush the ISV/DSV lookup caches on every context switch. */
+    kFleetFlushOnSwitch = 1u << 1,
+    /** Intersect the admin policy view into every context's ISV at
+     * fill time ("no tenant may speculate into these subsystems"). */
+    kFleetRestrictIsv = 1u << 2,
+};
+
+/** The global (sysfs) half of the enforcement value. */
+class FleetControl
+{
+  public:
+    /** Admin write: OR @p aspect_bits into the global value. There
+     * is deliberately no clear operation — enforcement only ever
+     * tightens, matching the DEXCR sysfs semantics. */
+    void
+    enforce(std::uint32_t aspect_bits)
+    {
+        global_ |= aspect_bits;
+        ++gen_;
+    }
+
+    std::uint32_t globalBits() const { return global_; }
+
+    /** Ticks on every enforce(); tasks compare against it to decide
+     * whether they must resynchronize their effective value. */
+    std::uint64_t gen() const { return gen_; }
+
+    /** The value a task actually runs under: its own bits OR the
+     * global enforcement — a task can tighten itself further but
+     * never escape the admin's floor. */
+    std::uint32_t
+    effective(std::uint32_t task_bits) const
+    {
+        return global_ | task_bits;
+    }
+
+  private:
+    std::uint32_t global_ = 0;
+    std::uint64_t gen_ = 0;
+};
+
+} // namespace perspective::kernel
+
+#endif // PERSPECTIVE_KERNEL_FLEET_HH

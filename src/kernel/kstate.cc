@@ -96,6 +96,26 @@ KernelState::createProcess(CgroupId cgroup)
     return pid;
 }
 
+Pid
+KernelState::forkProcess(Pid parent)
+{
+    const Task &p = task(parent);
+    std::uint32_t inherited = p.fleetBits;
+    Pid child = createProcess(p.cgroup);
+    task(child).fleetBits = inherited;
+    return child;
+}
+
+void
+KernelState::execProcess(Pid pid)
+{
+    // The fresh image starts from the task's inherited value with the
+    // current global floor OR'd in: a task that downgraded itself
+    // cannot exec its way out of fleet-wide enforcement.
+    Task &t = task(pid);
+    t.fleetBits = fleet_.effective(t.fleetBits);
+}
+
 void
 KernelState::exitProcess(Pid pid)
 {
@@ -209,6 +229,7 @@ KernelState::snapshot() const
         s.slabs.push_back(c->snapshot());
     s.tasks = tasks_;
     s.nextPid = nextPid_;
+    s.fleet = fleet_;
     return s;
 }
 
@@ -224,6 +245,7 @@ KernelState::restore(const Snapshot &s)
         kmallocCaches_[i]->restore(s.slabs[i]);
     tasks_ = s.tasks;
     nextPid_ = s.nextPid;
+    fleet_ = s.fleet;
 }
 
 } // namespace perspective::kernel

@@ -19,6 +19,7 @@
 
 #include "buddy.hh"
 #include "cgroup.hh"
+#include "fleet.hh"
 #include "ownership.hh"
 #include "process.hh"
 #include "sim/memory.hh"
@@ -49,6 +50,13 @@ class KernelState
     // -- contexts --------------------------------------------------------
     CgroupId createCgroup(std::string name);
     Pid createProcess(CgroupId cgroup);
+    /** fork(): a new task in the parent's cgroup inheriting the
+     * parent's per-task enforcement value (DEXCR semantics). */
+    Pid forkProcess(Pid parent);
+    /** exec(): the task keeps its enforcement value but re-syncs the
+     * global floor into it — a downgraded task cannot carry the
+     * weaker value into a fresh (possibly privileged) image. */
+    void execProcess(Pid pid);
     void exitProcess(Pid pid);
     Task &task(Pid pid);
     const Task &task(Pid pid) const;
@@ -79,6 +87,15 @@ class KernelState
     // -- accessors ---------------------------------------------------------
     OwnershipMap &ownership() { return ownership_; }
     const OwnershipMap &ownership() const { return ownership_; }
+    FleetControl &fleet() { return fleet_; }
+    const FleetControl &fleet() const { return fleet_; }
+    /** The enforcement value @p pid actually runs under (global
+     * floor OR task bits). */
+    std::uint32_t
+    effectiveFleetBits(Pid pid) const
+    {
+        return fleet_.effective(task(pid).fleetBits);
+    }
     BuddyAllocator &buddy() { return buddy_; }
     CgroupRegistry &cgroups() { return cgroups_; }
     sim::Memory &memory() { return mem_; }
@@ -102,6 +119,7 @@ class KernelState
         std::vector<SlabCache::Snapshot> slabs;
         std::unordered_map<Pid, Task> tasks;
         Pid nextPid = 1;
+        FleetControl fleet;
     };
 
     Snapshot snapshot() const;
@@ -120,6 +138,7 @@ class KernelState
     std::vector<std::unique_ptr<SlabCache>> kmallocCaches_;
     std::unordered_map<Pid, Task> tasks_;
     Pid nextPid_ = 1;
+    FleetControl fleet_;
 };
 
 } // namespace perspective::kernel

@@ -1,0 +1,50 @@
+#include "modules.hh"
+
+#include <stdexcept>
+
+namespace perspective::kernel
+{
+
+ModuleRegistry::ModuleRegistry(const KernelImage &img,
+                               sim::Memory &mem, unsigned module_size)
+    : mem_(mem)
+{
+    if (module_size == 0)
+        throw std::invalid_argument("module_size must be nonzero");
+
+    // Deterministic carve: walk the image in FuncId order and group
+    // cold functions into fixed-size modules. The hijack gadget leads
+    // module 0 so the race scenario's module is always module 0.
+    std::vector<sim::FuncId> cold;
+    sim::FuncId hijack = img.pocHijackGadget();
+    if (hijack != sim::kNoFunc)
+        cold.push_back(hijack);
+    for (sim::FuncId f = 0; f < img.numKernelFunctions(); ++f) {
+        if (f != hijack &&
+            img.classOf(f) == KernelImage::FuncClass::Cold)
+            cold.push_back(f);
+    }
+
+    for (std::size_t i = 0; i < cold.size(); i += module_size) {
+        Module m;
+        m.entry = cold[i];
+        for (std::size_t j = i;
+             j < cold.size() && j < i + module_size; ++j)
+            m.funcs.push_back(cold[j]);
+        modules_.push_back(std::move(m));
+    }
+}
+
+sim::FuncId
+ModuleRegistry::load(unsigned m, unsigned fs_type, unsigned op_slot)
+{
+    Module &mod = modules_.at(m);
+    // The ops tables store raw FuncIds (KernelImage::
+    // writeRodataTables); binding the entry makes the module a live
+    // indirect-dispatch target from this instant on.
+    mem_.write(fopsSlotVa(fs_type, op_slot), mod.entry);
+    mod.loaded = true;
+    return mod.entry;
+}
+
+} // namespace perspective::kernel

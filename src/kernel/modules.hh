@@ -1,0 +1,78 @@
+/**
+ * @file
+ * ModuleRegistry: loadable-extension state on top of the immutable
+ * KernelImage.
+ *
+ * The synthesized image already contains the text of every module —
+ * the cold driver/crypto/sound bulk — exactly like a distro kernel
+ * ships .ko files that are mapped but unreachable until loaded. The
+ * registry carves that bulk into modules and models insmod as the
+ * only part that actually mutates state: binding the module's entry
+ * point into an ops-table slot of the per-experiment memory (the
+ * image itself is shared across experiments and never written).
+ *
+ * Loading is the canonical ISV dynamic-update event: the instant the
+ * ops slot points at module code, indirect dispatch can reach it, so
+ * the OS must extend every affected context's ISV (incrementally —
+ * StaticIsvBuilder::extendView from the module entry) and, for ISV++
+ * deployments, re-run the gadget audit over the extension. The
+ * window between the slot write and the view update landing is what
+ * the module-load race scenario measures.
+ */
+
+#ifndef PERSPECTIVE_KERNEL_MODULES_HH
+#define PERSPECTIVE_KERNEL_MODULES_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "image.hh"
+#include "sim/memory.hh"
+
+namespace perspective::kernel
+{
+
+class ModuleRegistry
+{
+  public:
+    /**
+     * Carve the image's cold bulk into modules of @p module_size
+     * functions. Module 0 deliberately contains (and enters through)
+     * the PoC hijack gadget: the module whose load extends the ISV
+     * straight onto an attacker-useful target.
+     */
+    ModuleRegistry(const KernelImage &img, sim::Memory &mem,
+                   unsigned module_size = 12);
+
+    std::size_t numModules() const { return modules_.size(); }
+    const std::vector<sim::FuncId> &
+    functions(unsigned m) const
+    {
+        return modules_.at(m).funcs;
+    }
+    sim::FuncId entry(unsigned m) const { return modules_.at(m).entry; }
+    bool loaded(unsigned m) const { return modules_.at(m).loaded; }
+
+    /**
+     * insmod: bind module @p m's entry into the ops-table slot
+     * (@p fs_type, @p op_slot) of the experiment's memory, making it
+     * reachable through vfs indirect dispatch. Returns the entry
+     * FuncId — the root the caller feeds to extendView.
+     */
+    sim::FuncId load(unsigned m, unsigned fs_type, unsigned op_slot);
+
+  private:
+    struct Module
+    {
+        sim::FuncId entry = sim::kNoFunc;
+        std::vector<sim::FuncId> funcs;
+        bool loaded = false;
+    };
+
+    sim::Memory &mem_;
+    std::vector<Module> modules_;
+};
+
+} // namespace perspective::kernel
+
+#endif // PERSPECTIVE_KERNEL_MODULES_HH

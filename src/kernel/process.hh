@@ -54,6 +54,12 @@ struct Task
     /** Live kmalloc'd objects (address, size-class index). */
     std::vector<std::pair<Addr, unsigned>> slabObjects;
 
+    /** Per-task enforcement aspects (fleet.hh bits) — the task half
+     * of the DEXCR-style value; the kernel runs the task under
+     * FleetControl::effective(fleetBits). Inherited across fork and
+     * re-synced with the global floor on exec. */
+    std::uint32_t fleetBits = 0;
+
     bool alive = true;
 };
 

@@ -1028,6 +1028,23 @@ Pipeline::restore(const Snapshot &s)
     fetchStallUntil_ = s.fetchStallUntil;
     asid_ = s.asid;
     stackBase_ = s.stackBase;
+    // Scheduled callbacks capture experiment state from before the
+    // rewind; firing them against restored state would be a use of a
+    // dead world. The rewound experiment re-schedules its own.
+    scheduled_.clear();
+}
+
+void
+Pipeline::runScheduled()
+{
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < scheduled_.size(); ++i) {
+        if (scheduled_[i].first <= now_)
+            scheduled_[i].second();
+        else
+            scheduled_[kept++] = std::move(scheduled_[i]);
+    }
+    scheduled_.resize(kept);
 }
 
 RunResult
@@ -1060,6 +1077,8 @@ Pipeline::run(FuncId entry)
 
     while (!halted_) {
         ++now_;
+        if (!scheduled_.empty())
+            runScheduled();
         doCommit();
         if (halted_)
             break;

@@ -28,6 +28,7 @@
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <queue>
 #include <utility>
@@ -144,6 +145,27 @@ class Pipeline
 
     Snapshot snapshot() const;
     void restore(const Snapshot &s);
+
+    /** Core cycle clock. The pointer stays valid for the pipeline's
+     * lifetime — policies hold it to timestamp deferred updates
+     * (PerspectivePolicy::setClock). */
+    Cycle now() const { return now_; }
+    const Cycle *cyclePtr() const { return &now_; }
+
+    /**
+     * Run @p fn at the first cycle >= @p when of a subsequent run()
+     * — an asynchronous kernel-side event (ownership handoff, module
+     * load, fleet flip) landing mid-run while loads are in flight.
+     * Callbacks mutate semantic state, not pipeline internals.
+     * Pending callbacks are dropped by restore(): a rewound
+     * experiment re-schedules its own events.
+     */
+    void
+    scheduleAt(Cycle when, std::function<void()> fn)
+    {
+        scheduled_.emplace_back(when, std::move(fn));
+    }
+    std::size_t pendingScheduled() const { return scheduled_.size(); }
 
     Memory &memory() { return mem_; }
     CacheHierarchy &caches() { return caches_; }
@@ -315,6 +337,7 @@ class Pipeline
     void recordSpan(trace::Flag flag, const RobEntry &e, Cycle start,
                     const char *suffix = nullptr);
     void sampleTelemetry();
+    void runScheduled();
     std::uint64_t evalAlu(const RobEntry &e) const;
     bool evalBranch(const RobEntry &e) const;
 
@@ -424,6 +447,12 @@ class Pipeline
     /** Seqs of dispatched control ops; resolved/dead fronts are
      * popped lazily by horizonSeq(). */
     std::deque<std::uint64_t> unresolvedCtls_;
+
+    /** Mid-run kernel events (scheduleAt), fired by the run loop
+     * once now_ reaches their cycle. Unsorted — the list is tiny
+     * (a scenario schedules a handful) and scanned only while
+     * nonempty. */
+    std::vector<std::pair<Cycle, std::function<void()>>> scheduled_;
 };
 
 } // namespace perspective::sim

@@ -131,6 +131,10 @@ Experiment::Experiment(const WorkloadProfile &profile, Scheme scheme,
         perspective_ = std::make_unique<core::PerspectivePolicy>(
             ks_->ownership(), core::PerspectiveConfig{},
             schemeName(scheme_));
+        // Timestamp source for deferred revocations / fleet flips;
+        // with the default revocationLatency of 0 every update path
+        // stays synchronous and nothing changes.
+        perspective_->setClock(cpu_->cyclePtr());
         registerPerspectiveContext(mainPid_);
         registerPerspectiveContext(victimPid_);
         policy_ = perspective_.get();

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "core/perspective.hh"
 #include "kernel/ownership.hh"
 #include "sim/program.hh"
@@ -193,4 +195,206 @@ TEST_F(PerspFixture, DsvmtMirrorsOwnership)
     own.assign(6, 4);
     EXPECT_TRUE(pol.dsvmtOf(3).queryPfn(5));
     EXPECT_FALSE(pol.dsvmtOf(3).queryPfn(6));
+}
+
+TEST_F(PerspFixture, DsvmtOfThrowsForUnregisteredDomain)
+{
+    // The old accessor default-inserted an empty tree for a typo'd
+    // domain and silently answered "nothing is in the DSV".
+    PerspectivePolicy pol(own);
+    IsvView view(prog);
+    pol.registerContext(1, 3, &view);
+    EXPECT_NO_THROW(pol.dsvmtOf(3));
+    EXPECT_THROW(pol.dsvmtOf(42), std::out_of_range);
+}
+
+TEST_F(PerspFixture, WakePairingTokenTracksBlocks)
+{
+    // Every Block verdict arms the single-slot wake token; gateWake
+    // consumes it. A gateWake for a context that never blocked (or
+    // after the slot was re-armed by a different load) is the
+    // under-waking bug the debug assert catches.
+    PerspectivePolicy pol(own);
+    IsvView view(prog);
+    view.includeFunction(kf);
+    pol.registerContext(1, 3, &view);
+    own.assign(5, 3);
+    own.assign(6, 3);
+    Addr pc = prog.func(kf).instAddr(0);
+
+    std::uint64_t seq0 = pol.wakeSeq();
+    SpecContext a = ctxFor(pc, directMapVa(5), 1);
+    ASSERT_EQ(pol.gateLoad(a), Gate::Block); // cold caches: fill
+    EXPECT_EQ(pol.wakeSeq(), seq0 + 1);
+    EXPECT_TRUE(pol.wakePairingMatches(a));
+
+    SpecContext b = ctxFor(pc, directMapVa(6), 1);
+    EXPECT_FALSE(pol.wakePairingMatches(b)); // different dataVa
+
+    pol.gateWake(a); // paired consume disarms the slot
+    EXPECT_FALSE(pol.wakePairingMatches(a));
+
+    // The next Block re-arms with a fresh token for its own context.
+    ASSERT_EQ(pol.gateLoad(b), Gate::Block);
+    EXPECT_EQ(pol.wakeSeq(), seq0 + 2);
+    EXPECT_TRUE(pol.wakePairingMatches(b));
+    EXPECT_FALSE(pol.wakePairingMatches(a));
+    pol.gateWake(b);
+}
+
+TEST_F(PerspFixture, BlockedWakeDependsOnIsvEpoch)
+{
+    // A load blocked on ISV membership must list the view's epoch
+    // counter as a wake source: an OS view reconfiguration (module
+    // load, Swift patch) is otherwise invisible to the elision layer
+    // and the load sleeps through its own release.
+    PerspectivePolicy pol(own);
+    IsvView view(prog); // kf NOT included: steady Block on ISV
+    pol.registerContext(1, 3, &view);
+    own.assign(5, 3);
+    Addr pc = prog.func(kf).instAddr(0);
+    SpecContext c = ctxFor(pc, directMapVa(5), 1);
+    ASSERT_EQ(steadyGate(pol, c), Gate::Block);
+
+    GateWake w = pol.gateWake(c);
+    EXPECT_FALSE(w.everyCycle);
+    bool has_epoch = false;
+    for (unsigned i = 0; i < w.numGens; ++i)
+        has_epoch = has_epoch || w.gen[i] == view.epochPtr();
+    EXPECT_TRUE(has_epoch);
+
+    // The dependency is live: including the function ticks the epoch
+    // and the steady verdict flips.
+    std::uint64_t epoch0 = *view.epochPtr();
+    view.includeFunction(kf);
+    EXPECT_GT(*view.epochPtr(), epoch0);
+    EXPECT_EQ(steadyGate(pol, c), Gate::Allow);
+}
+
+TEST_F(PerspFixture, DeferredRevocationKeepsStaleVerdictUntilApply)
+{
+    own.assign(5, 3); // owned up front: mirrored at registration
+    PerspectiveConfig cfg;
+    cfg.revocationLatency = 500;
+    PerspectivePolicy pol(own, cfg);
+    sim::Cycle clock = 1000;
+    pol.setClock(&clock);
+    IsvView view(prog);
+    view.includeFunction(kf);
+    pol.registerContext(1, 3, &view);
+    Addr pc = prog.func(kf).instAddr(0);
+    ASSERT_EQ(steadyGate(pol, ctxFor(pc, directMapVa(5), 1)),
+              Gate::Allow);
+
+    // Handoff at cycle 10000 (well past the warmup fills): the
+    // shootdown applies at 10500. Until then mirror and cached
+    // verdict stay stale — by design, this is the modeled transient
+    // window.
+    clock = 10000;
+    own.assign(5, 4);
+    EXPECT_EQ(pol.pendingRevocations(), 1u);
+    EXPECT_TRUE(pol.dsvmtOf(3).queryPfn(5));
+    SpecContext in_window = ctxFor(pc, directMapVa(5), 1);
+    in_window.now = 10200;
+    EXPECT_EQ(pol.gateLoad(in_window), Gate::Allow);
+
+    // Past the apply point the drain lands on the next gate check:
+    // mirror refreshed, cached verdict dies, the load blocks.
+    SpecContext after = ctxFor(pc, directMapVa(5), 1);
+    after.now = 10600;
+    EXPECT_EQ(pol.gateLoad(after), Gate::Block);
+    EXPECT_EQ(pol.pendingRevocations(), 0u);
+    EXPECT_FALSE(pol.dsvmtOf(3).queryPfn(5));
+    EXPECT_EQ(steadyGate(pol, after), Gate::Block);
+}
+
+TEST_F(PerspFixture, FlushPendingRevocationsClosesWindowNow)
+{
+    own.assign(5, 3);
+    PerspectiveConfig cfg;
+    cfg.revocationLatency = 1'000'000;
+    PerspectivePolicy pol(own, cfg);
+    sim::Cycle clock = 1000;
+    pol.setClock(&clock);
+    IsvView view(prog);
+    view.includeFunction(kf);
+    pol.registerContext(1, 3, &view);
+    Addr pc = prog.func(kf).instAddr(0);
+    ASSERT_EQ(steadyGate(pol, ctxFor(pc, directMapVa(5), 1)),
+              Gate::Allow);
+
+    own.assign(5, 4);
+    ASSERT_EQ(pol.pendingRevocations(), 1u);
+    // An explicit flush (the synchronous-shootdown escape hatch)
+    // applies everything pending regardless of the clock.
+    pol.flushPendingRevocations();
+    EXPECT_EQ(pol.pendingRevocations(), 0u);
+    EXPECT_FALSE(pol.dsvmtOf(3).queryPfn(5));
+    EXPECT_EQ(steadyGate(pol, ctxFor(pc, directMapVa(5), 1)),
+              Gate::Block);
+}
+
+TEST_F(PerspFixture, SnapshotRestoresPendingRevocationWindow)
+{
+    // Snapshot taken mid-window, restore after the window was
+    // closed: the pending shootdown, the stale mirror and the cached
+    // verdict must all come back, and the wake slot / MRU pointers
+    // must be disarmed rather than dangling.
+    own.assign(5, 3);
+    PerspectiveConfig cfg;
+    cfg.revocationLatency = 500;
+    PerspectivePolicy pol(own, cfg);
+    sim::Cycle clock = 1000;
+    pol.setClock(&clock);
+    IsvView view(prog);
+    view.includeFunction(kf);
+    pol.registerContext(1, 3, &view);
+    Addr pc = prog.func(kf).instAddr(0);
+    ASSERT_EQ(steadyGate(pol, ctxFor(pc, directMapVa(5), 1)),
+              Gate::Allow);
+
+    clock = 10000;
+    own.assign(5, 4); // applies at 10500
+    auto snap = pol.snapshot();
+
+    pol.flushPendingRevocations();
+    ASSERT_EQ(pol.pendingRevocations(), 0u);
+    ASSERT_FALSE(pol.dsvmtOf(3).queryPfn(5));
+
+    pol.restore(snap);
+    EXPECT_EQ(pol.pendingRevocations(), 1u);
+    EXPECT_TRUE(pol.dsvmtOf(3).queryPfn(5));
+    SpecContext in_window = ctxFor(pc, directMapVa(5), 1);
+    EXPECT_FALSE(pol.wakePairingMatches(in_window));
+    in_window.now = 10200;
+    EXPECT_EQ(pol.gateLoad(in_window), Gate::Allow);
+
+    // The restored window still closes on its own schedule.
+    SpecContext after = ctxFor(pc, directMapVa(5), 1);
+    after.now = 10600;
+    EXPECT_EQ(pol.gateLoad(after), Gate::Block);
+    EXPECT_EQ(pol.pendingRevocations(), 0u);
+    EXPECT_FALSE(pol.dsvmtOf(3).queryPfn(5));
+}
+
+TEST_F(PerspFixture, NullClockKeepsRevocationSynchronous)
+{
+    // Without a wired clock the latency knob is inert: ownership
+    // changes land synchronously, exactly the legacy contract every
+    // static configuration relies on.
+    own.assign(5, 3);
+    PerspectiveConfig cfg;
+    cfg.revocationLatency = 500;
+    PerspectivePolicy pol(own, cfg);
+    IsvView view(prog);
+    view.includeFunction(kf);
+    pol.registerContext(1, 3, &view);
+    Addr pc = prog.func(kf).instAddr(0);
+    ASSERT_EQ(steadyGate(pol, ctxFor(pc, directMapVa(5), 1)),
+              Gate::Allow);
+    own.assign(5, 4);
+    EXPECT_EQ(pol.pendingRevocations(), 0u);
+    EXPECT_FALSE(pol.dsvmtOf(3).queryPfn(5));
+    EXPECT_EQ(steadyGate(pol, ctxFor(pc, directMapVa(5), 1)),
+              Gate::Block);
 }

@@ -241,30 +241,144 @@ TEST(ViewsDiff, DsvmtMemoryBytesPinned)
     Dsvmt t;
     EXPECT_EQ(t.memoryBytes(), 0u);
 
-    t.setPage(100, true); // one leaf
+    t.setPage(100, true); // one leaf (gig 0)
     EXPECT_EQ(t.memoryBytes(), 64u);
 
-    t.set2M(512 * 7, true); // + one 2M entry
+    t.set2M(512 * 7, true); // + one 2M entry (gig 0)
     EXPECT_EQ(t.memoryBytes(), 64u + 8u);
 
-    t.set1G(0, false); // + one 1G entry (installed, maps out)
-    EXPECT_EQ(t.memoryBytes(), 64u + 8u + 8u);
+    t.setPage((Pfn{1} << 18) + 3, true); // survivor leaf in gig 1
+    EXPECT_EQ(t.memoryBytes(), 64u + 8u + 64u);
 
-    t.set2M(512 * 7, false); // overwrite, not a new entry
-    EXPECT_EQ(t.memoryBytes(), 64u + 8u + 8u);
+    // The region install replaces everything beneath it in gig 0:
+    // the leaf and 2M entry die, one 1G descriptor appears. Gig 1 is
+    // untouched.
+    t.set1G(0, false);
+    EXPECT_EQ(t.memoryBytes(), 8u + 64u);
 
-    // Promoting the leaf's granule drops the leaf.
+    // A later setPage re-demotes: a fresh all-zero leaf refines the
+    // region entry.
+    t.setPage(100, true);
+    EXPECT_EQ(t.memoryBytes(), 8u + 64u + 64u);
+
+    t.set2M(512 * 7, false); // fresh 2M entry (old one was dropped)
+    EXPECT_EQ(t.memoryBytes(), 8u + 64u + 64u + 8u);
+
+    // Promoting the leaf's granule drops the leaf again.
     t.set2M(0, true); // granule 0 holds pfn 100's leaf
-    EXPECT_EQ(t.memoryBytes(), 8u + 8u + 8u);
+    EXPECT_EQ(t.memoryBytes(), 8u + 64u + 8u + 8u);
 
     DsvmtRef ref;
     ref.setPage(100, true);
     ref.set2M(512 * 7, true);
+    ref.setPage((Pfn{1} << 18) + 3, true);
     ref.set1G(0, false);
+    ref.setPage(100, true);
     ref.set2M(512 * 7, false);
     ref.set2M(0, true);
     EXPECT_EQ(ref.memoryBytes(), t.memoryBytes());
 
     t.clear();
     EXPECT_EQ(t.memoryBytes(), 0u);
+}
+
+TEST(ViewsDiff, DsvmtHugePrecedencePinned)
+{
+    // Pins the newest-installation-wins contract for overlapping
+    // mappings. Pre-fix, set1G/set2M after setPage left the stale
+    // leaf in place, silently shadowing the newer region verdict.
+    Dsvmt t;
+    DsvmtRef ref;
+    auto step = [&](Pfn pfn, bool want, unsigned want_levels) {
+        ASSERT_EQ(t.queryPfn(pfn), want) << "pfn " << pfn;
+        ASSERT_EQ(ref.queryPfn(pfn), want) << "pfn " << pfn;
+        ASSERT_EQ(t.walkLevels(pfn), want_levels) << "pfn " << pfn;
+        ASSERT_EQ(ref.walkLevels(pfn), want_levels) << "pfn " << pfn;
+    };
+
+    t.setPage(5, true);
+    ref.setPage(5, true);
+    t.set2M(512 * 3, true);
+    ref.set2M(512 * 3, true);
+    step(5, true, 3);
+    step(512 * 3 + 17, true, 2);
+
+    // Region install maps the whole gig out: nothing stale shadows.
+    t.set1G(0, false);
+    ref.set1G(0, false);
+    step(5, false, 1);
+    step(512 * 3 + 17, false, 1);
+
+    // Flip the region in: same walk depth, opposite verdict.
+    t.set1G(0, true);
+    ref.set1G(0, true);
+    step(5, true, 1);
+    step(512 * 3 + 17, true, 1);
+
+    // Later finer-grained ops re-demote their granules. A demoting
+    // setPage materializes an all-zero leaf, so its whole granule
+    // reads out-of-DSV (leaf precedence — the documented model).
+    t.setPage(5, false);
+    ref.setPage(5, false);
+    step(5, false, 3);
+    step(6, false, 3);
+    step(512, true, 1); // neighbouring granule still rides the 1G
+
+    t.set2M(512 * 3, false);
+    ref.set2M(512 * 3, false);
+    step(512 * 3 + 17, false, 2);
+    step(512 * 4, true, 1);
+
+    ASSERT_EQ(t.memoryBytes(), ref.memoryBytes());
+}
+
+TEST(ViewsDiff, DsvmtOverlappingHugeOpsMatchReference)
+{
+    // Differential fuzz concentrated on overlap: every op lands in
+    // two gigs with a dense granule core, and 1G installs are as
+    // frequent as leaf writes, so promote-over-leaf, demote-under-1G
+    // and 2M-vs-1G interleavings occur by the thousands.
+    std::mt19937_64 rng(0xc0ffee);
+    Dsvmt flat;
+    DsvmtRef ref;
+
+    auto expectSame = [&](Pfn pfn) {
+        ASSERT_EQ(flat.queryPfn(pfn), ref.queryPfn(pfn))
+            << "pfn " << pfn;
+        ASSERT_EQ(flat.walkLevels(pfn), ref.walkLevels(pfn))
+            << "pfn " << pfn;
+    };
+
+    for (unsigned op = 0; op < 12000; ++op) {
+        std::uint64_t gig = rng() % 2;
+        Pfn pfn = (gig << 18) | (rng() % 8 << 9) | (rng() % 512);
+        bool val = rng() % 2;
+        switch (rng() % 6) {
+          case 0:
+          case 1:
+            flat.setPage(pfn, val);
+            ref.setPage(pfn, val);
+            break;
+          case 2:
+          case 3:
+            flat.set2M(pfn & ~Pfn{511}, val);
+            ref.set2M(pfn & ~Pfn{511}, val);
+            break;
+          default:
+            flat.set1G(pfn & ~((Pfn{1} << 18) - 1), val);
+            ref.set1G(pfn & ~((Pfn{1} << 18) - 1), val);
+            break;
+        }
+        expectSame(pfn);
+        // Sweep the mutated granule plus its neighbours, both sides
+        // of the 2M boundary.
+        Pfn base = pfn & ~Pfn{511};
+        for (Pfn q = base; q < base + 512; q += 97)
+            expectSame(q);
+        if (base >= 512)
+            expectSame(base - 1);
+        expectSame(base + 512);
+        ASSERT_EQ(flat.memoryBytes(), ref.memoryBytes())
+            << "after op " << op;
+    }
 }

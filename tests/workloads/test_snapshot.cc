@@ -139,6 +139,59 @@ TEST(Snapshot, RestoreRewindsKernelState)
     EXPECT_EQ(e.kernelState().buddy().allocCount(), allocs0);
 }
 
+TEST(Snapshot, MidRunHandoffCompletesAndRestoreRewindsIt)
+{
+    // A mid-run ownership handoff (the dynamic-update driver): the
+    // policy listener revokes the page while loads from it may be
+    // blocked in-ROB holding stale verdicts, and the run must
+    // complete with the verdicts re-resolved — no dangling wake or
+    // MRU pointer. Restore then rewinds the handoff, the policy
+    // mirrors, AND the not-yet-fired callback queue, reproducing the
+    // no-handoff run exactly.
+    Experiment e(profileNamed("mmap"), Scheme::Perspective, 42);
+    auto &ks = e.kernelState();
+    kernel::Pfn ctx_pfn = ks.task(e.mainPid()).ctxPfn;
+    kernel::DomainId home = ks.ownership().ownerOf(ctx_pfn);
+    kernel::DomainId foreign = ks.task(e.victimPid()).domain;
+    ASSERT_NE(home, foreign);
+
+    Experiment::Snapshot snap = e.snapshot();
+    RunResult base = e.run(4, 1);
+    e.restore(snap);
+
+    e.pipeline().scheduleAt(
+        e.pipeline().now() + 1000,
+        [&ks, ctx_pfn, foreign] {
+            ks.ownership().assign(ctx_pfn, foreign);
+        });
+    EXPECT_EQ(e.pipeline().pendingScheduled(), 1u);
+    e.run(4, 1);
+    EXPECT_EQ(ks.ownership().ownerOf(ctx_pfn), foreign);
+    EXPECT_EQ(e.pipeline().pendingScheduled(), 0u);
+
+    e.restore(snap);
+    EXPECT_EQ(ks.ownership().ownerOf(ctx_pfn), home);
+    RunResult again = e.run(4, 1);
+    expectSameResult(base, again);
+}
+
+TEST(Snapshot, RestoreClearsUnfiredScheduledCallbacks)
+{
+    // A callback scheduled for a cycle the run never reaches must
+    // not leak across restore into a later (rewound) timeline where
+    // its captured state is dead.
+    Experiment e(profileNamed("getpid"), Scheme::Perspective, 42);
+    Experiment::Snapshot snap = e.snapshot();
+    bool fired = false;
+    e.pipeline().scheduleAt(e.pipeline().now() + 1'000'000'000,
+                            [&fired] { fired = true; });
+    EXPECT_EQ(e.pipeline().pendingScheduled(), 1u);
+    e.restore(snap);
+    EXPECT_EQ(e.pipeline().pendingScheduled(), 0u);
+    e.run(2, 0);
+    EXPECT_FALSE(fired);
+}
+
 TEST(Snapshot, DivergentRunsFromOneSnapshot)
 {
     // The same snapshot replayed under different measured iteration
