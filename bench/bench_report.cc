@@ -31,6 +31,7 @@
  *   bench_report --merge merged.json shard1.json shard2.json
  */
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -61,6 +62,11 @@ struct Cell
     std::uint64_t fences = 0;
     double wallSeconds = 0;
     double mips = 0; ///< instructions / wallSeconds / 1e6
+
+    // Transient-leakage accounting (zero for pre-schema-4 files).
+    std::uint64_t secretLoads = 0;
+    std::uint64_t leakTransmissions = 0;
+    std::uint64_t leakBytes = 0; ///< bytes_transmitted
 };
 
 struct SweepFile
@@ -78,6 +84,24 @@ struct SweepFile
     std::uint64_t gateElided = 0;   ///< blocked-load rechecks skipped
     std::uint64_t mruHits = 0;      ///< DSVMT-walk MRU granule hits
     std::uint64_t mruLookups = 0;   ///< DSVMT-walk lookups
+
+    // Dynamic-update exposure: stale allows plus the transient-gap
+    // histogram, aggregated count-weighted over the cells (the JSON
+    // carries per-cell percentile summaries, not raw samples).
+    std::uint64_t staleAllows = 0;
+    std::uint64_t gapSamples = 0;
+    double gapP50W = 0; ///< sum of per-cell p50 * count
+    double gapP99W = 0; ///< sum of per-cell p99 * count
+
+    // Transient-leakage totals over all cells (schema 4).
+    std::uint64_t secretLoads = 0;
+    std::uint64_t bytesAtRisk = 0;
+    std::uint64_t leakTransmissions = 0;
+    std::uint64_t leakBytes = 0;
+
+    // Structured event-log health (doc-level "trace" block).
+    std::uint64_t traceDropped = 0;
+    std::vector<std::uint64_t> traceDroppedByLane;
 };
 
 std::uint64_t
@@ -147,8 +171,40 @@ loadSweep(const std::string &path)
             f.gateElided += uintOr0(st, "gate.elided");
             f.mruHits += uintOr0(st, "dsvmt.mru.hits");
             f.mruLookups += uintOr0(st, "dsvmt.mru.lookups");
+            f.staleAllows +=
+                uintOr0(st, "perspective.revocation.stale_allows");
+        }
+        if (cj.contains("histograms") &&
+            cj.at("histograms").contains("transient_gap_cycles")) {
+            const Json &h =
+                cj.at("histograms").at("transient_gap_cycles");
+            std::uint64_t n = uintOr0(h, "count");
+            f.gapSamples += n;
+            if (n > 0) {
+                f.gapP50W += h.at("p50").asDouble() *
+                             static_cast<double>(n);
+                f.gapP99W += h.at("p99").asDouble() *
+                             static_cast<double>(n);
+            }
+        }
+        if (cj.contains("leakage")) {
+            const Json &lj = cj.at("leakage");
+            c.secretLoads = uintOr0(lj, "secret_loads");
+            c.leakTransmissions = uintOr0(lj, "transmissions");
+            c.leakBytes = uintOr0(lj, "bytes_transmitted");
+            f.secretLoads += c.secretLoads;
+            f.bytesAtRisk += uintOr0(lj, "bytes_at_risk");
+            f.leakTransmissions += c.leakTransmissions;
+            f.leakBytes += c.leakBytes;
         }
         f.cells.push_back(std::move(c));
+    }
+    if (doc.contains("trace")) {
+        const Json &tj = doc.at("trace");
+        f.traceDropped = uintOr0(tj, "dropped");
+        if (tj.contains("dropped_by_lane"))
+            for (const Json &d : tj.at("dropped_by_lane").asArray())
+                f.traceDroppedByLane.push_back(d.asUint());
     }
     if (f.fallbackKeys > 0)
         std::fprintf(
@@ -271,6 +327,39 @@ summarize(const SweepFile &f)
                     static_cast<unsigned long long>(f.mruLookups),
                     100.0 * static_cast<double>(f.mruHits) /
                         static_cast<double>(f.mruLookups));
+    if (f.gapSamples > 0 || f.staleAllows > 0)
+        std::printf("  transient gaps: %llu windows, p50~%.0f "
+                    "p99~%.0f cycles (count-weighted); %llu stale "
+                    "allows\n",
+                    static_cast<unsigned long long>(f.gapSamples),
+                    f.gapSamples
+                        ? f.gapP50W / static_cast<double>(f.gapSamples)
+                        : 0.0,
+                    f.gapSamples
+                        ? f.gapP99W / static_cast<double>(f.gapSamples)
+                        : 0.0,
+                    static_cast<unsigned long long>(f.staleAllows));
+    if (f.secretLoads > 0 || f.leakBytes > 0)
+        std::printf("  leakage: %llu secret loads (%llu bytes at "
+                    "risk), %llu transmissions, %llu bytes "
+                    "transmitted\n",
+                    static_cast<unsigned long long>(f.secretLoads),
+                    static_cast<unsigned long long>(f.bytesAtRisk),
+                    static_cast<unsigned long long>(
+                        f.leakTransmissions),
+                    static_cast<unsigned long long>(f.leakBytes));
+    if (f.traceDropped > 0) {
+        std::uint64_t worst = 0;
+        for (std::uint64_t d : f.traceDroppedByLane)
+            worst = std::max(worst, d);
+        std::fprintf(stderr,
+                     "bench_report: WARNING: %s: event trace dropped "
+                     "%llu event(s) (worst lane: %llu) — raise the "
+                     "log capacity or narrow the enabled flags\n",
+                     f.path.c_str(),
+                     static_cast<unsigned long long>(f.traceDropped),
+                     static_cast<unsigned long long>(worst));
+    }
 }
 
 /** Signed delta column: "+12345" / "0". */
@@ -362,6 +451,67 @@ perfCompare(const std::vector<SweepFile> &inputs,
     return failures;
 }
 
+/** Split a comma-separated scheme list ("" => match everything). */
+std::vector<std::string>
+splitSchemes(const std::string &list)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char ch : list) {
+        if (ch == ',') {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(ch);
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+/**
+ * Hard leak gate: no successful cell (of the filtered schemes) may
+ * report a single transmitted byte. Returns the number of offending
+ * cells across all inputs.
+ */
+unsigned
+leakGate(const std::vector<SweepFile> &inputs,
+         const std::vector<std::string> &schemes)
+{
+    unsigned offenders = 0;
+    std::uint64_t matched = 0;
+    for (const SweepFile &f : inputs) {
+        for (const Cell &c : f.cells) {
+            if (!c.ok)
+                continue;
+            if (!schemes.empty() &&
+                std::find(schemes.begin(), schemes.end(),
+                          c.scheme) == schemes.end())
+                continue;
+            ++matched;
+            if (c.leakBytes > 0) {
+                ++offenders;
+                std::fprintf(
+                    stderr,
+                    "bench_report: leak gate: %s: %s/%s "
+                    "transmitted %llu byte(s) (%llu transmissions, "
+                    "%llu secret loads)\n",
+                    f.path.c_str(), c.workload.c_str(),
+                    c.scheme.c_str(),
+                    static_cast<unsigned long long>(c.leakBytes),
+                    static_cast<unsigned long long>(
+                        c.leakTransmissions),
+                    static_cast<unsigned long long>(c.secretLoads));
+            }
+        }
+    }
+    std::printf("\nleak gate: %llu cell(s) checked, %u leaking\n",
+                static_cast<unsigned long long>(matched), offenders);
+    return offenders;
+}
+
 void
 usage(int code)
 {
@@ -384,6 +534,12 @@ usage(int code)
         "                     falls below R x F's (timing gate)\n"
         "  --perf-threshold R minimum allowed MIPS ratio "
         "(default 0.80)\n"
+        "  --leak-gate[=S,..] exit 1 if any successful cell (of the\n"
+        "                     listed schemes; all when omitted)\n"
+        "                     reports transmitted leakage bytes\n"
+        "  --expect-leak      exit 1 if NO input reports transmitted\n"
+        "                     leakage bytes (gates the gate: a racy\n"
+        "                     config must show a nonzero signal)\n"
         "  --merge OUT        recombine --shard K/N sweep JSONs "
         "into\n"
         "                     one complete document (refuses\n"
@@ -401,6 +557,8 @@ main(int argc, char **argv)
     std::string baselinePath, perfBaselinePath, mergePath;
     double perfThreshold = 0.80;
     bool check = false, verbose = false, strict = false;
+    bool leakGateOn = false, expectLeak = false;
+    std::vector<std::string> leakSchemes;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -428,6 +586,13 @@ main(int argc, char **argv)
             perfThreshold = std::atof(argv[++i]);
         } else if (arg.rfind("--perf-threshold=", 0) == 0) {
             perfThreshold = std::atof(arg.substr(17).c_str());
+        } else if (arg == "--leak-gate") {
+            leakGateOn = true;
+        } else if (arg.rfind("--leak-gate=", 0) == 0) {
+            leakGateOn = true;
+            leakSchemes = splitSchemes(arg.substr(12));
+        } else if (arg == "--expect-leak") {
+            expectLeak = true;
         } else if (arg == "--check") {
             check = true;
         } else if (arg == "--strict") {
@@ -505,6 +670,33 @@ main(int argc, char **argv)
     if (!perfBaselinePath.empty())
         perf_failures = perfCompare(files, loadSweep(perfBaselinePath),
                                     perfThreshold);
+
+    unsigned leak_failures = 0;
+    if (leakGateOn)
+        leak_failures = leakGate(files, leakSchemes);
+    if (expectLeak) {
+        std::uint64_t total = 0;
+        for (const SweepFile &f : files)
+            total += f.leakBytes;
+        if (total == 0) {
+            std::fprintf(stderr,
+                         "bench_report: FAIL — --expect-leak: no "
+                         "input reports any transmitted leakage "
+                         "bytes (the leak instrumentation may be "
+                         "dead)\n");
+            return 1;
+        }
+        std::printf("expect-leak: %llu byte(s) transmitted across "
+                    "inputs — signal present\n",
+                    static_cast<unsigned long long>(total));
+    }
+    if (leak_failures > 0) {
+        std::fprintf(stderr,
+                     "bench_report: FAIL — %u cell(s) leaked "
+                     "transmitted bytes\n",
+                     leak_failures);
+        return 1;
+    }
 
     if (check && total_diffs > 0) {
         std::fprintf(stderr,

@@ -131,6 +131,12 @@ struct PolicyLease
 RaceResult
 raceRevocation(Experiment &e)
 {
+    return raceRevocation(e, 50'000'000);
+}
+
+RaceResult
+raceRevocation(Experiment &e, sim::Cycle revocationBudget)
+{
     auto &ks = e.kernelState();
     RaceResult r;
 
@@ -145,11 +151,11 @@ raceRevocation(Experiment &e)
         throw std::runtime_error("raceRevocation: out of memory");
     Addr va = kernel::directMapVa(*pfn);
 
-    // Private policy with a deferred shootdown: large enough that the
-    // window stays open across whole attack runs and only closes when
-    // the scenario says so.
+    // Private policy with a deferred shootdown. The caller's budget
+    // decides how long the window stays open: 0 means synchronous
+    // (no window), the 50M default outlives whole attack runs.
     core::PerspectiveConfig cfg;
-    cfg.revocationLatency = 50'000'000;
+    cfg.revocationLatency = revocationBudget;
     core::PerspectivePolicy pol(ks.ownership(), cfg,
                                 "race-revocation");
     pol.setClock(e.pipeline().cyclePtr());

@@ -51,7 +51,15 @@ struct RaceResult
 
 /** DSV ownership handoff raced mid-flight. @p e must be built with
  * pocProfile() and a Perspective scheme; the scenario installs its
- * own policy (nonzero revocationLatency) for its duration. */
+ * own policy for its duration. @p revocationBudget is the modeled
+ * shootdown latency: 0 applies revocations synchronously (no window
+ * at all), larger budgets hold the window open longer — sweeping it
+ * yields the leak-probability-vs-budget curve (bench_pliability). */
+RaceResult raceRevocation(workloads::Experiment &e,
+                          sim::Cycle revocationBudget);
+
+/** The default scenario: a budget so large the window stays open
+ * across whole attack runs until the scenario closes it. */
 RaceResult raceRevocation(workloads::Experiment &e);
 
 /** Module load racing the incremental ISV recomputation. */

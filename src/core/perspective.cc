@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "kernel/fleet.hh"
+#include "sim/trace.hh"
 
 namespace perspective::core
 {
@@ -29,7 +30,7 @@ PerspectivePolicy::PerspectivePolicy(kernel::OwnershipMap &ownership,
     // shootdown is deferred instead: the kernel has already moved the
     // frame, but the hardware keeps the old verdict until the
     // pending revocation drains — the mid-flight window.
-    ownership_.addListener([this](kernel::Pfn pfn) {
+    listenerId_ = ownership_.addListener([this](kernel::Pfn pfn) {
         if (clock_ && cfg_.revocationLatency > 0) {
             pending_.push_back(
                 {pfn, *clock_, *clock_ + cfg_.revocationLatency});
@@ -42,6 +43,11 @@ PerspectivePolicy::PerspectivePolicy(kernel::OwnershipMap &ownership,
                                   owner == kDomainReplicated);
         }
     });
+}
+
+PerspectivePolicy::~PerspectivePolicy()
+{
+    ownership_.removeListener(listenerId_);
 }
 
 void
@@ -83,6 +89,30 @@ PerspectivePolicy::inDsv(sim::Addr va, DomainId domain) const
     return owner == domain;
 }
 
+sim::LeakWindow
+PerspectivePolicy::updateWindow(sim::Addr va, sim::Asid asid) const
+{
+    // Priority: a pending revocation covering the frame is the most
+    // specific explanation for a stale allow, then the coarser
+    // context-wide windows.
+    if (kernel::inDirectMap(va)) {
+        kernel::Pfn pfn = kernel::directMapPfn(va);
+        for (const PendingRevocation &r : pending_) {
+            if (r.pfn == pfn)
+                return sim::LeakWindow::Revocation;
+        }
+    }
+    auto it = contexts_.find(asid);
+    if (it != contexts_.end()) {
+        const Context &c = it->second;
+        if (fleetGen_ != 0 && c.fleetSeen != fleetGen_)
+            return sim::LeakWindow::FleetFlip;
+        if (c.isv && c.isvEpochSeen != c.isv->epoch())
+            return sim::LeakWindow::ModuleLoad;
+    }
+    return sim::LeakWindow::Baseline;
+}
+
 const Dsvmt &
 PerspectivePolicy::dsvmtOf(DomainId domain) const
 {
@@ -113,6 +143,16 @@ PerspectivePolicy::fleetTighten(std::uint32_t aspect_bits,
     // picks up the tightened value once past fleetVisibleAt_.
     ++contextsGen_;
     noteUpdateLatency(lat);
+    if (sim::trace::eventsEnabled()) {
+        sim::trace::Event ev;
+        ev.flag = sim::trace::Flag::Window;
+        ev.start = now;
+        ev.dur = lat;
+        ev.kernel = true;
+        ev.name = "fleet-flip window";
+        ev.func = name_;
+        sim::trace::eventLog()->record(std::move(ev));
+    }
     return lat;
 }
 
@@ -136,6 +176,19 @@ PerspectivePolicy::applyRevocation(const PendingRevocation &r,
     if (stats_) {
         stats_->histogram("transient_gap_cycles")
             .sample(now >= r.revokedAt ? now - r.revokedAt : 0);
+    }
+    // Structured span for the realized window, rendered in Perfetto
+    // next to the pipeline lanes (leak events land inside it).
+    if (sim::trace::eventsEnabled()) {
+        sim::trace::Event ev;
+        ev.flag = sim::trace::Flag::Window;
+        ev.start = r.revokedAt;
+        ev.dur = now >= r.revokedAt ? now - r.revokedAt : 0;
+        ev.seq = r.pfn;
+        ev.kernel = true;
+        ev.name = "revocation window";
+        ev.func = "pfn[" + std::to_string(r.pfn) + "]";
+        sim::trace::eventLog()->record(std::move(ev));
     }
 }
 

@@ -47,6 +47,7 @@
 #include "hwcache.hh"
 #include "isv.hh"
 #include "kernel/ownership.hh"
+#include "sim/leakage.hh"
 #include "sim/policy.hh"
 
 namespace perspective::core
@@ -98,6 +99,12 @@ class PerspectivePolicy : public sim::SpeculationPolicy
     PerspectivePolicy(kernel::OwnershipMap &ownership,
                       PerspectiveConfig cfg = {},
                       std::string name = "perspective");
+    /** Deregisters the ownership listener: short-lived policies (the
+     * attack races lease one per run) must not leave a dangling
+     * this-capture behind in the map. */
+    ~PerspectivePolicy() override;
+    PerspectivePolicy(const PerspectivePolicy &) = delete;
+    PerspectivePolicy &operator=(const PerspectivePolicy &) = delete;
 
     /**
      * Associate an execution context: its ASID, its ownership domain
@@ -155,6 +162,16 @@ class PerspectivePolicy : public sim::SpeculationPolicy
 
     /** Revocations scheduled but not yet landed (the open window). */
     std::size_t pendingRevocations() const { return pending_.size(); }
+
+    /**
+     * Which dynamic-update window (if any) is open for @p va in the
+     * context registered under @p asid — the leakage ledger's
+     * attribution hook (DESIGN §5.5). Pure lookup, no side effects:
+     * a pending revocation covering @p va's frame wins, then an
+     * unsynced fleet flip, then an unsynced ISV epoch; Baseline means
+     * "no open window explains a stale allow".
+     */
+    sim::LeakWindow updateWindow(sim::Addr va, sim::Asid asid) const;
 
     /** Land every pending revocation immediately (window closed by
      * fiat — used by tests and at end-of-scenario barriers). */
@@ -214,6 +231,7 @@ class PerspectivePolicy : public sim::SpeculationPolicy
     };
 
     kernel::OwnershipMap &ownership_;
+    kernel::OwnershipMap::ListenerId listenerId_ = 0;
     PerspectiveConfig cfg_;
     std::string name_;
     IsvCache isvCache_;

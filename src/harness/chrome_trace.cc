@@ -52,6 +52,10 @@ chromeTraceJson(const sim::trace::EventLog &log)
     Json::Object other;
     other["clock"] = "1 trace us == 1 simulated cycle";
     other["dropped_events"] = log.dropped();
+    Json::Array perLane;
+    for (std::uint64_t d : log.droppedByLane())
+        perLane.emplace_back(d);
+    other["dropped_by_lane"] = std::move(perLane);
     doc["otherData"] = std::move(other);
     return Json(std::move(doc));
 }

@@ -452,6 +452,50 @@ cellFromCachedJson(const Json &cell)
     if (cell.contains("stats"))
         for (const auto &[name, v] : cell.at("stats").asObject())
             res.stats.inc(name, v.asUint());
+    if (cell.contains("leakage")) {
+        const Json &lj = cell.at("leakage");
+        sim::LeakageSummary &lk = res.leakage;
+        lk.secretLoads = uintField(lj, "secret_loads");
+        lk.bytesAtRisk = uintField(lj, "bytes_at_risk");
+        lk.transmissions = uintField(lj, "transmissions");
+        lk.bytesTransmitted = uintField(lj, "bytes_transmitted");
+        lk.taintOverflows = uintField(lj, "taint_overflows");
+        if (lj.contains("channels")) {
+            const Json &cj = lj.at("channels");
+            lk.channelCacheInstall = uintField(cj, "cache_install");
+            lk.channelTlbFill = uintField(cj, "tlb_fill");
+        }
+        if (lj.contains("windows")) {
+            for (unsigned w = 1; w < sim::kNumLeakWindows; ++w) {
+                const char *name =
+                    sim::leakWindowName(static_cast<sim::LeakWindow>(w));
+                if (!lj.at("windows").contains(name))
+                    continue;
+                const Json &wj = lj.at("windows").at(name);
+                lk.windows[w].secretLoads = uintField(wj, "secret_loads");
+                lk.windows[w].transmissions =
+                    uintField(wj, "transmissions");
+                lk.windows[w].bytesTransmitted =
+                    uintField(wj, "bytes_transmitted");
+            }
+        }
+        if (lj.contains("top_gadgets")) {
+            for (const Json &gj : lj.at("top_gadgets").asArray()) {
+                sim::LeakageSummary::Gadget g;
+                g.pc = uintField(gj, "pc");
+                g.funcName = gj.at("func").asString();
+                g.entryName = gj.at("entry").asString();
+                std::string wname = gj.at("window").asString();
+                for (unsigned w = 0; w < sim::kNumLeakWindows; ++w)
+                    if (wname ==
+                        sim::leakWindowName(static_cast<sim::LeakWindow>(w)))
+                        g.window = static_cast<sim::LeakWindow>(w);
+                g.transmissions = uintField(gj, "transmissions");
+                g.bytesTransmitted = uintField(gj, "bytes_transmitted");
+                lk.topGadgets.push_back(std::move(g));
+            }
+        }
+    }
 
     r.cached = true;
     r.raw = std::make_shared<Json>(cell);
@@ -553,6 +597,45 @@ cellToJson(const CellResult &r, unsigned jobs)
         series[name] = std::move(sj);
     }
     o["timeseries"] = std::move(series);
+
+    // Transient-leakage accounting (schema 4, DESIGN §5.5). Always
+    // present — a zero block is an explicit "no leakage observed",
+    // which the leak gates depend on.
+    const sim::LeakageSummary &lk = res.leakage;
+    Json::Object leak;
+    leak["secret_loads"] = lk.secretLoads;
+    leak["bytes_at_risk"] = lk.bytesAtRisk;
+    leak["transmissions"] = lk.transmissions;
+    leak["bytes_transmitted"] = lk.bytesTransmitted;
+    leak["taint_overflows"] = lk.taintOverflows;
+    Json::Object chan;
+    chan["cache_install"] = lk.channelCacheInstall;
+    chan["tlb_fill"] = lk.channelTlbFill;
+    leak["channels"] = std::move(chan);
+    Json::Object wins;
+    for (unsigned w = 1; w < sim::kNumLeakWindows; ++w) {
+        const auto &row = lk.windows[w];
+        Json::Object wj;
+        wj["secret_loads"] = row.secretLoads;
+        wj["transmissions"] = row.transmissions;
+        wj["bytes_transmitted"] = row.bytesTransmitted;
+        wins[sim::leakWindowName(static_cast<sim::LeakWindow>(w))] =
+            std::move(wj);
+    }
+    leak["windows"] = std::move(wins);
+    Json::Array gadgets;
+    for (const auto &g : lk.topGadgets) {
+        Json::Object gj;
+        gj["pc"] = static_cast<std::uint64_t>(g.pc);
+        gj["func"] = g.funcName;
+        gj["entry"] = g.entryName;
+        gj["window"] = sim::leakWindowName(g.window);
+        gj["transmissions"] = g.transmissions;
+        gj["bytes_transmitted"] = g.bytesTransmitted;
+        gadgets.emplace_back(std::move(gj));
+    }
+    leak["top_gadgets"] = std::move(gadgets);
+    o["leakage"] = std::move(leak);
     return Json(std::move(o));
 }
 
@@ -560,7 +643,7 @@ Json
 SweepRunner::toJson() const
 {
     Json::Object doc;
-    doc["schema"] = std::uint64_t{3};
+    doc["schema"] = std::uint64_t{4};
     doc["bench"] = opts_.benchName;
     doc["jobs"] = jobs();
     doc["git"] = buildGitDescribe();
@@ -585,6 +668,19 @@ SweepRunner::toJson() const
     shard["count"] = opts_.shardCount;
     shard["grid_cells"] = nextGridIndex_;
     doc["shard"] = std::move(shard);
+
+    if (traceLog_) {
+        // Event-log health: consumers must be able to tell a quiet
+        // trace from a saturated one (satellite of DESIGN §5.5).
+        Json::Object tr;
+        tr["events"] = traceLog_->size();
+        tr["dropped"] = traceLog_->dropped();
+        Json::Array perLane;
+        for (std::uint64_t d : traceLog_->droppedByLane())
+            perLane.emplace_back(d);
+        tr["dropped_by_lane"] = std::move(perLane);
+        doc["trace"] = std::move(tr);
+    }
 
     Json::Object sched;
     sched["policy"] = "cost-aware";
@@ -761,7 +857,7 @@ mergeSweeps(const std::vector<Json> &shards,
                     std::to_string(gridCells) + " cells present");
 
     Json::Object doc;
-    doc["schema"] = std::uint64_t{3};
+    doc["schema"] = std::uint64_t{4};
     doc["bench"] = bench;
     doc["jobs"] = jobsMax;
     doc["git"] = git;

@@ -156,6 +156,16 @@ KernelState::domainOf(Pid pid) const
     return task(pid).domain;
 }
 
+DomainId
+KernelState::domainOfAsid(sim::Asid asid) const
+{
+    for (const auto &[pid, t] : tasks_) {
+        if (t.alive && t.asid == asid)
+            return t.domain;
+    }
+    return kDomainUnknown;
+}
+
 unsigned
 KernelState::classIndexFor(std::uint32_t size) const
 {

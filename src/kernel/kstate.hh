@@ -61,6 +61,9 @@ class KernelState
     Task &task(Pid pid);
     const Task &task(Pid pid) const;
     DomainId domainOf(Pid pid) const;
+    /** Domain of the live task running under @p asid (the leakage
+     * classifier's ground-truth lookup); kDomainUnknown when none. */
+    DomainId domainOfAsid(sim::Asid asid) const;
     std::size_t numTasks() const { return tasks_.size(); }
 
     // -- allocation ------------------------------------------------------

@@ -49,17 +49,35 @@ class OwnershipMap
             owner_[pfn] = domain;
         ++epoch_;
         for (auto &l : listeners_)
-            l(pfn);
+            l.fn(pfn);
     }
+
+    using ListenerId = std::uint64_t;
 
     /**
      * Register a change listener (e.g. a DSVMT cache that must shoot
-     * down entries for reassigned frames).
+     * down entries for reassigned frames). The returned id removes it
+     * again — a listener capturing a shorter-lived object (the races'
+     * leased policies) MUST deregister before that object dies, or
+     * the next assign() calls through a dangling pointer.
      */
-    void
+    ListenerId
     addListener(std::function<void(Pfn)> fn)
     {
-        listeners_.push_back(std::move(fn));
+        listeners_.push_back({nextListenerId_++, std::move(fn)});
+        return listeners_.back().id;
+    }
+
+    void
+    removeListener(ListenerId id)
+    {
+        for (auto it = listeners_.begin(); it != listeners_.end();
+             ++it) {
+            if (it->id == id) {
+                listeners_.erase(it);
+                return;
+            }
+        }
     }
 
     void
@@ -103,9 +121,16 @@ class OwnershipMap
     }
 
   private:
+    struct Listener
+    {
+        ListenerId id;
+        std::function<void(Pfn)> fn;
+    };
+
     std::vector<DomainId> owner_;
     std::uint64_t epoch_ = 0;
-    std::vector<std::function<void(Pfn)>> listeners_;
+    std::vector<Listener> listeners_;
+    ListenerId nextListenerId_ = 1;
 };
 
 } // namespace perspective::kernel

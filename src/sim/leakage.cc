@@ -1,0 +1,158 @@
+#include "leakage.hh"
+
+#include <algorithm>
+
+namespace perspective::sim
+{
+
+void
+LeakLedger::setClassifier(SecretClassifier fn)
+{
+    classifier_ = std::move(fn);
+}
+
+void
+LeakLedger::setEnabled(bool on)
+{
+    enabled_ = on;
+}
+
+std::uint8_t
+LeakLedger::noteSecretLoad(Addr va, Addr pc, FuncId func,
+                           FuncId entryFunc, LeakWindow window)
+{
+    ++st_.secretLoads;
+    st_.bytesAtRisk += 8;
+    ++st_.windows[static_cast<unsigned>(window)].secretLoads;
+
+    unsigned bit = kOverflowBit;
+    for (unsigned probe = 0; probe < kOverflowBit; ++probe) {
+        unsigned cand = (st_.rrNext + probe) % kOverflowBit;
+        if (!st_.sources[cand].live) {
+            bit = cand;
+            st_.rrNext = (cand + 1) % kOverflowBit;
+            break;
+        }
+    }
+    Source &s = st_.sources[bit];
+    if (bit == kOverflowBit) {
+        ++st_.taintOverflows;
+        // The shared slot aggregates: keep the first attribution,
+        // refcount the lifetimes.
+        std::uint32_t refs = s.refs;
+        if (refs == 0) {
+            s = Source{};
+            s.va = va;
+            s.pc = pc;
+            s.func = func;
+            s.entryFunc = entryFunc;
+            s.window = window;
+        }
+        s.live = true;
+        s.refs = refs + 1;
+    } else {
+        s = Source{};
+        s.live = true;
+        s.refs = 1;
+        s.va = va;
+        s.pc = pc;
+        s.func = func;
+        s.entryFunc = entryFunc;
+        s.window = window;
+    }
+    return static_cast<std::uint8_t>(bit);
+}
+
+void
+LeakLedger::noteTransmission(std::uint64_t taintMask, LeakChannel channel,
+                             Addr gadgetPc, FuncId gadgetFunc)
+{
+    bool any = false;
+    for (std::uint64_t m = taintMask; m != 0; m &= m - 1) {
+        unsigned bit = static_cast<unsigned>(__builtin_ctzll(m));
+        Source &s = st_.sources[bit];
+        if (!s.live)
+            continue; // stale bit from a retired source: ignore
+        any = true;
+        ++st_.transmissions;
+        auto &w = st_.windows[static_cast<unsigned>(s.window)];
+        ++w.transmissions;
+        if (!s.transmitted) {
+            s.transmitted = true;
+            st_.bytesTransmitted += 8;
+            w.bytesTransmitted += 8;
+        }
+        GadgetKey key{gadgetPc, static_cast<std::uint8_t>(s.window)};
+        GadgetRow &row = st_.gadgets[key];
+        if (row.transmissions == 0) {
+            row.func = gadgetFunc;
+            row.entryFunc = s.entryFunc;
+        }
+        ++row.transmissions;
+        row.bytesTransmitted += 8;
+    }
+    if (any)
+        ++st_.channelCounts[static_cast<unsigned>(channel)];
+}
+
+void
+LeakLedger::retireSource(std::uint8_t bit)
+{
+    Source &s = st_.sources[bit];
+    if (!s.live)
+        return;
+    if (s.refs > 1)
+        --s.refs;
+    else {
+        s.refs = 0;
+        s.live = false;
+    }
+}
+
+void
+LeakLedger::reset()
+{
+    st_ = State{};
+}
+
+LeakageSummary
+LeakLedger::summary() const
+{
+    LeakageSummary out;
+    out.secretLoads = st_.secretLoads;
+    out.bytesAtRisk = st_.bytesAtRisk;
+    out.transmissions = st_.transmissions;
+    out.bytesTransmitted = st_.bytesTransmitted;
+    out.taintOverflows = st_.taintOverflows;
+    out.channelCacheInstall =
+        st_.channelCounts[static_cast<unsigned>(LeakChannel::CacheInstall)];
+    out.channelTlbFill =
+        st_.channelCounts[static_cast<unsigned>(LeakChannel::TlbFill)];
+    out.windows = st_.windows;
+
+    out.topGadgets.reserve(st_.gadgets.size());
+    for (const auto &[key, row] : st_.gadgets) {
+        LeakageSummary::Gadget g;
+        g.pc = key.pc;
+        g.window = static_cast<LeakWindow>(key.window);
+        g.func = row.func;
+        g.entryFunc = row.entryFunc;
+        g.transmissions = row.transmissions;
+        g.bytesTransmitted = row.bytesTransmitted;
+        out.topGadgets.push_back(g);
+    }
+    // Deterministic order: bytes desc, then pc/window asc.
+    std::sort(out.topGadgets.begin(), out.topGadgets.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.bytesTransmitted != b.bytesTransmitted)
+                      return a.bytesTransmitted > b.bytesTransmitted;
+                  if (a.pc != b.pc)
+                      return a.pc < b.pc;
+                  return a.window < b.window;
+              });
+    if (out.topGadgets.size() > kTopGadgets)
+        out.topGadgets.resize(kTopGadgets);
+    return out;
+}
+
+} // namespace perspective::sim

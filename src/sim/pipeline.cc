@@ -28,6 +28,7 @@ Pipeline::Pipeline(const Program &prog, Memory &mem,
       stackBase_(kDefaultStackBase)
 {
     renameValid_.fill(false);
+    ledger_.setEnabled(params_.leakLedger);
 
     // Resolve hot-path stat names once; per-cycle code then bumps
     // through stable handles instead of string-keyed map lookups.
@@ -122,6 +123,7 @@ Pipeline::captureOperand(RobEntry &e, unsigned slot, RegId reg)
         e.srcProd[slot] = pseq;
         if (p->state == EState::Done) {
             e.srcVal[slot] = p->result;
+            e.srcLeakTaint[slot] = p->leakTaint;
             e.srcReady[slot] = true;
         } else {
             e.srcReady[slot] = false;
@@ -185,6 +187,7 @@ Pipeline::onComplete(RobEntry &e)
         if (!c || c->srcReady[slot])
             continue; // consumer squashed since registration
         c->srcVal[slot] = e.result;
+        c->srcLeakTaint[slot] = e.leakTaint;
         c->srcReady[slot] = true;
         if (--c->pendingSrcs == 0)
             enqueueReady(*c);
@@ -320,6 +323,7 @@ Pipeline::tryIssueLoad(RobEntry &e)
     // full scan kept) forwards its value.
     bool forwarded = false;
     std::uint64_t fwd_val = 0;
+    std::uint64_t fwd_taint = 0;
     auto it = std::lower_bound(
         storeQ_.begin(), storeQ_.end(), e.seq,
         [](const auto &p, std::uint64_t s) { return p.first < s; });
@@ -328,6 +332,7 @@ Pipeline::tryIssueLoad(RobEntry &e)
         if (it->second->effAddr == e.effAddr) {
             forwarded = true;
             fwd_val = it->second->result;
+            fwd_taint = it->second->srcLeakTaint[1];
             break;
         }
     }
@@ -375,6 +380,8 @@ Pipeline::tryIssueLoad(RobEntry &e)
     noteFenceStallEnd(e);
 
     Cycle lat;
+    Cycle tlb_lat = 1;  ///< >1 means the walk filled the TLB
+    Cycle mem_lat = 0;  ///< normal-path hierarchy round trip
     if (forwarded) {
         lat = 1;
         e.result = fwd_val;
@@ -382,16 +389,57 @@ Pipeline::tryIssueLoad(RobEntry &e)
         // Invisible speculation (InvisiSpec-style): read the data at
         // the latency the hierarchy would charge, but leave no trace;
         // the line is installed at commit if the load survives.
-        Cycle tlb_lat = dtlb_.translate(e.effAddr, asid_);
+        tlb_lat = dtlb_.translate(e.effAddr, asid_);
         lat = caches_.probeLatency(e.effAddr) +
               (tlb_lat > 1 ? tlb_lat : 0);
         e.result = mem_.read(e.effAddr);
         ctrLoadsInvisible_.inc();
     } else {
-        Cycle tlb_lat = dtlb_.translate(e.effAddr, asid_);
-        lat = caches_.accessData(e.effAddr, &stats_) +
-              (tlb_lat > 1 ? tlb_lat : 0);
+        tlb_lat = dtlb_.translate(e.effAddr, asid_);
+        mem_lat = caches_.accessData(e.effAddr, &stats_);
+        lat = mem_lat + (tlb_lat > 1 ? tlb_lat : 0);
         e.result = mem_.read(e.effAddr);
+    }
+
+    // Transient-leakage ledger (observation-only, DESIGN §5.5). A
+    // tainted address reaching a durable uarch state change is a
+    // transmission; a speculative load of ground-truth-secret data
+    // opens a new taint source. Ordering matters: the transmission
+    // uses the *address* operand's taint, the source taints the
+    // *result*.
+    if (ledgerArmed_) {
+        const std::uint64_t addr_taint = e.srcLeakTaint[0];
+        if (addr_taint != 0) {
+            bool transmitted = false;
+            if (tlb_lat > 1) {
+                ledger_.noteTransmission(addr_taint,
+                                         LeakChannel::TlbFill, e.pc,
+                                         e.func);
+                transmitted = true;
+            }
+            if (mem_lat > caches_.l1d().params().hit_latency) {
+                ledger_.noteTransmission(addr_taint,
+                                         LeakChannel::CacheInstall,
+                                         e.pc, e.func);
+                transmitted = true;
+            }
+            if (transmitted && eventsOn_)
+                recordSpan(trace::Flag::Leak, e, now_, " (leak)");
+        }
+        std::uint64_t own = 0;
+        // Ground truth is a kernel concept (ISV membership, DSV frame
+        // ownership); user-mode speculation over the task's own pages
+        // is not a kernel leak and is never classified.
+        if (spec && e.kernel) {
+            SecretVerdict v =
+                ledger_.classify(e.effAddr, e.func, asid_, now_);
+            if (v.secret) {
+                e.leakSrcBit = ledger_.noteSecretLoad(
+                    e.effAddr, e.pc, e.func, entryFunc_, v.window);
+                own = std::uint64_t{1} << e.leakSrcBit;
+            }
+        }
+        e.leakTaint = own | addr_taint | fwd_taint;
     }
     e.state = EState::Executing;
     e.issueCycle = now_;
@@ -449,6 +497,8 @@ Pipeline::squashAfter(std::uint64_t seq)
         // A policy-blocked victim's stall ends here, by squash.
         if (victim.state == EState::Blocked)
             noteFenceStallEnd(victim);
+        if (victim.leakSrcBit != LeakLedger::kNoSource)
+            ledger_.retireSource(victim.leakSrcBit);
         if (record)
             recordSpan(trace::Flag::Squash, victim,
                        victim.dispatchCycle, " (squashed)");
@@ -600,6 +650,8 @@ Pipeline::applyCommit(RobEntry &e)
             caches_.accessData(e.effAddr, &stats_);
         --inflightLoads_;
     }
+    if (e.leakSrcBit != LeakLedger::kNoSource)
+        ledger_.retireSource(e.leakSrcBit);
     ctrCommitted_.inc();
     if (e.kernel)
         ctrCommittedKernel_.inc();
@@ -678,8 +730,10 @@ Pipeline::tryIssue(RobEntry &e)
         pendingStores_.erase(it);
     } else if (e.op->op == Op::IntAlu || e.op->op == Op::IntMul) {
         e.result = evalAlu(e);
+        e.leakTaint = e.srcLeakTaint[0] | e.srcLeakTaint[1];
     } else if (e.op->op == Op::IndirectCall) {
         e.result = e.srcVal[0];
+        e.leakTaint = e.srcLeakTaint[0];
     } else if (e.op->op == Op::Call) {
         // Return-address push: allocate the stack line.
         if (e.effAddr != 0)
@@ -1004,7 +1058,7 @@ Pipeline::snapshot() const
             btb_,         rsb_,     stats_,
             regs_,        renameMap_, renameValid_,
             nextSeq_,     now_,     fetchStallUntil_,
-            asid_,        stackBase_};
+            asid_,        stackBase_, ledger_.snapshot()};
 }
 
 void
@@ -1028,6 +1082,7 @@ Pipeline::restore(const Snapshot &s)
     fetchStallUntil_ = s.fetchStallUntil;
     asid_ = s.asid;
     stackBase_ = s.stackBase;
+    ledger_.restore(s.ledger);
     // Scheduled callbacks capture experiment state from before the
     // rewind; firing them against restored state would be a use of a
     // dead world. The rewound experiment re-schedules its own.
@@ -1069,8 +1124,11 @@ Pipeline::run(FuncId entry)
     fetchStallUntil_ = 0;
     lastFetchLine_ = ~Addr{0};
     // Per-run latch: the structured event log is consulted once, not
-    // per committed/squashed micro-op.
+    // per committed/squashed micro-op. Same for the leakage ledger's
+    // armed state and the run's syscall entry point (attribution).
     eventsOn_ = trace::eventsEnabled();
+    ledgerArmed_ = ledger_.armed();
+    entryFunc_ = entry;
 
     Cycle start = now_;
     std::uint64_t start_inst = stats_.get("committed");

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "cache.hh"
+#include "leakage.hh"
 #include "memory.hh"
 #include "policy.hh"
 #include "predictor.hh"
@@ -73,6 +74,10 @@ struct PipelineParams
      * telemetry cost; event-proportional samples (fence stalls,
      * squash depths, load waits) are always collected. */
     bool detailedTelemetry = true;
+    /** Transient-leakage ledger (leakage.hh). Observation-only and
+     * additionally gated on a classifier being installed; simulated
+     * cycle counts are identical either way. */
+    bool leakLedger = true;
 };
 
 /** Outcome of one Pipeline::run invocation. */
@@ -141,6 +146,7 @@ class Pipeline
         Cycle fetchStallUntil = 0;
         Asid asid = 0;
         Addr stackBase = 0;
+        LeakLedger::Snapshot ledger;
     };
 
     Snapshot snapshot() const;
@@ -166,6 +172,12 @@ class Pipeline
         scheduled_.emplace_back(when, std::move(fn));
     }
     std::size_t pendingScheduled() const { return scheduled_.size(); }
+
+    /** Transient-leakage ledger (observation-only; DESIGN §5.5).
+     * Arm it with LeakLedger::setClassifier; the pipeline classifies
+     * speculative loads and tracks taint only while armed. */
+    LeakLedger &leakLedger() { return ledger_; }
+    const LeakLedger &leakLedger() const { return ledger_; }
 
     Memory &memory() { return mem_; }
     CacheHierarchy &caches() { return caches_; }
@@ -271,6 +283,14 @@ class Pipeline
         Cycle taintCycle = 0;   ///< cycle `tainted` was computed for
         bool counted = false;   ///< fence already counted for stats
         bool invisible = false; ///< executed without cache fills
+
+        // Leakage-ledger taint (observation-only, independent of the
+        // STT bit above): which live secret sources this entry's
+        // result derives from, the per-operand captures, and — for a
+        // secret-classified load — its own source slot.
+        std::uint64_t leakTaint = 0;
+        std::array<std::uint64_t, 2> srcLeakTaint = {0, 0};
+        std::uint8_t leakSrcBit = LeakLedger::kNoSource;
 
         // Wake-driven gate re-evaluation (GateWake in policy.hh):
         // snapshot of the blocking verdict's inputs, captured when
@@ -382,6 +402,12 @@ class Pipeline
 
     SpeculationPolicy *policy_ = nullptr;
     UnsafePolicy unsafe_;
+
+    LeakLedger ledger_;
+    /** params_.leakLedger && classifier installed, latched per run. */
+    bool ledgerArmed_ = false;
+    /** Syscall entry point of the current run (leak attribution). */
+    FuncId entryFunc_ = kNoFunc;
 
     Asid asid_ = 0;
     Addr stackBase_ = 0;

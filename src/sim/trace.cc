@@ -33,6 +33,8 @@ flagName(Flag f)
       case Flag::Squash: return "squash";
       case Flag::Fence: return "fence";
       case Flag::Predict: return "predict";
+      case Flag::Leak: return "leak";
+      case Flag::Window: return "window";
     }
     return "?";
 }
@@ -86,7 +88,8 @@ enableFromString(const std::string &spec)
             pos, comma == std::string::npos ? std::string::npos
                                             : comma - pos);
         for (Flag f : {Flag::Fetch, Flag::Commit, Flag::Squash,
-                       Flag::Fence, Flag::Predict}) {
+                       Flag::Fence, Flag::Predict, Flag::Leak,
+                       Flag::Window}) {
             if (name == flagName(f)) {
                 enable(f);
                 ++n;
@@ -131,14 +134,20 @@ EventLog::record(Event ev)
     thread_local std::map<const EventLog *, unsigned> lanes;
 
     std::lock_guard<std::mutex> lk(mu_);
-    if (events_.size() >= capacity_) {
-        ++dropped_;
-        return;
-    }
+    // Resolve the lane before the capacity check so drops are
+    // attributable to the lane that overflowed, not just a global
+    // tally (bench_report warns per lane when nonzero).
     auto it = lanes.find(this);
     if (it == lanes.end())
         it = lanes.emplace(this, nextLane_++).first;
     ev.lane = it->second;
+    if (events_.size() >= capacity_) {
+        ++dropped_;
+        if (droppedByLane_.size() <= ev.lane)
+            droppedByLane_.resize(ev.lane + 1, 0);
+        ++droppedByLane_[ev.lane];
+        return;
+    }
     events_.push_back(std::move(ev));
 }
 
@@ -163,12 +172,23 @@ EventLog::dropped() const
     return dropped_;
 }
 
+std::vector<std::uint64_t>
+EventLog::droppedByLane() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    std::vector<std::uint64_t> out(nextLane_, 0);
+    for (std::size_t i = 0; i < droppedByLane_.size(); ++i)
+        out[i] = droppedByLane_[i];
+    return out;
+}
+
 void
 EventLog::clear()
 {
     std::lock_guard<std::mutex> lk(mu_);
     events_.clear();
     dropped_ = 0;
+    droppedByLane_.clear();
 }
 
 void

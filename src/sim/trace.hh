@@ -36,6 +36,8 @@ enum class Flag : std::uint32_t
     Squash = 1u << 2,  ///< mispredictions and their redirects
     Fence = 1u << 3,   ///< policy-blocked transmitters
     Predict = 1u << 4, ///< BTB/RSB/conditional predictions
+    Leak = 1u << 5,    ///< transient-leakage transmissions (DESIGN §5.5)
+    Window = 1u << 6,  ///< dynamic-update (revocation/flip) windows
 };
 
 /** Lower-case name of @p f ("fetch", "commit", ...). */
@@ -120,6 +122,13 @@ class EventLog
     std::size_t size() const;
     std::uint64_t dropped() const;
 
+    /**
+     * Per-lane drop counts (index = lane id). Lanes that never
+     * dropped report 0; the vector covers every lane ever assigned.
+     * Silent truncation reads as "nothing happened" — surface this.
+     */
+    std::vector<std::uint64_t> droppedByLane() const;
+
     void clear();
 
   private:
@@ -127,6 +136,7 @@ class EventLog
     std::size_t capacity_;
     std::vector<Event> events_;
     std::uint64_t dropped_ = 0;
+    std::vector<std::uint64_t> droppedByLane_;
     unsigned nextLane_ = 0;
 };
 

@@ -143,6 +143,49 @@ Experiment::Experiment(const WorkloadProfile &profile, Scheme scheme,
     }
 
     cpu_->setPolicy(policy_);
+
+    // Transient-leakage ground truth (DESIGN §5.5), armed for every
+    // scheme: a speculative kernel load is "secret" when a correct,
+    // fully-synchronized policy would have blocked it — its function
+    // is outside the context's ISV (when the scheme builds one), or
+    // its target page is outside the context's DSV-reachable set
+    // (another domain's frame, or unknown provenance). Pure lookups
+    // only: the closure must not perturb simulated state.
+    cpu_->leakLedger().setClassifier(
+        [this, mruAsid = sim::Asid{0xffff},
+         mruDom = kernel::kDomainUnknown](
+            sim::Addr va, FuncId func, sim::Asid asid,
+            sim::Cycle) mutable -> sim::SecretVerdict {
+            bool secret = false;
+            if (isv_ && func != sim::kNoFunc &&
+                !isv_->containsFunction(func))
+                secret = true;
+            if (!secret && kernel::inDirectMap(va)) {
+                kernel::DomainId owner =
+                    ks_->ownership().ownerOfVa(va);
+                if (owner != kernel::kDomainReplicated) {
+                    if (asid != mruAsid) {
+                        mruAsid = asid;
+                        mruDom = ks_->domainOfAsid(asid);
+                    }
+                    // Unknown provenance is conservatively secret
+                    // (the blockUnknown ground truth).
+                    if (owner != mruDom)
+                        secret = true;
+                }
+            }
+            if (!secret)
+                return {};
+            // Attribute the stale allow to the dynamic-update window
+            // that made it possible. The *active* policy is consulted
+            // (PoCs lease replacement policies onto the pipeline).
+            sim::LeakWindow w = sim::LeakWindow::Baseline;
+            if (auto *p = dynamic_cast<core::PerspectivePolicy *>(
+                    cpu_->policy()))
+                w = p->updateWindow(va, asid);
+            return {true, w};
+        });
+
     const kernel::Task &t = ks_->task(mainPid_);
     cpu_->setAsid(t.asid);
     cpu_->setKernelStackBase(t.stackTopVa);
@@ -281,6 +324,7 @@ Experiment::run(unsigned iterations, unsigned warmup)
     // cache hit rates — covers only measured work.
     sim::StatSet &st = cpu_->stats();
     st.clear();
+    cpu_->leakLedger().reset();
     if (perspective_) {
         perspective_->isvCache().resetAccounting();
         perspective_->dsvCache().resetAccounting();
@@ -306,6 +350,13 @@ Experiment::run(unsigned iterations, unsigned warmup)
         st.inc("dsvmt.mru.lookups", perspective_->dsvmtMruLookups());
     }
     out.stats = st;
+    out.leakage = cpu_->leakLedger().summary();
+    for (auto &g : out.leakage.topGadgets) {
+        if (g.func != sim::kNoFunc)
+            g.funcName = cpu_->program().func(g.func).name;
+        if (g.entryFunc != sim::kNoFunc)
+            g.entryName = cpu_->program().func(g.entryFunc).name;
+    }
     return out;
 }
 

@@ -62,6 +62,9 @@ struct RunResult
     double isvCacheHitRate = 0;
     double dsvCacheHitRate = 0;
     sim::StatSet stats;
+    /** Transient-leakage accounting for the measured iterations
+     * (observation-only; see sim/leakage.hh and DESIGN §5.5). */
+    sim::LeakageSummary leakage;
 
     double
     kernelFraction() const

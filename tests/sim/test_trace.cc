@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "sim/memory.hh"
 #include "sim/pipeline.hh"
@@ -188,6 +189,41 @@ TEST_F(TraceFixture, EventLogDropsPastCapacityAndCounts)
     log.clear();
     EXPECT_EQ(log.size(), 0u);
     EXPECT_EQ(log.dropped(), 0u);
+}
+
+TEST_F(TraceFixture, EventLogAttributesDropsPerLane)
+{
+    // Drops must be attributable to the lane (recording thread) that
+    // overflowed, not just a global tally — the sweep JSON surfaces
+    // the per-lane vector and bench_report warns on it.
+    trace::EventLog log(3);
+    std::thread other([&log] {
+        for (int i = 0; i < 5; ++i)
+            log.record(trace::Event{});
+    });
+    other.join();
+    for (int i = 0; i < 4; ++i)
+        log.record(trace::Event{});
+
+    auto perLane = log.droppedByLane();
+    ASSERT_EQ(perLane.size(), 2u); // two lanes ever assigned
+    EXPECT_EQ(perLane[0] + perLane[1], log.dropped());
+    EXPECT_EQ(log.dropped(), 6u); // 9 records into capacity 3
+    EXPECT_EQ(perLane[0], 2u);    // other thread: 5 - 3 stored
+    EXPECT_EQ(perLane[1], 4u);    // this thread: all dropped
+
+    log.clear();
+    for (std::uint64_t d : log.droppedByLane())
+        EXPECT_EQ(d, 0u);
+}
+
+TEST_F(TraceFixture, LeakAndWindowFlagsRoundTrip)
+{
+    EXPECT_STREQ(trace::flagName(trace::Flag::Leak), "leak");
+    EXPECT_STREQ(trace::flagName(trace::Flag::Window), "window");
+    EXPECT_EQ(trace::enableFromString("leak,window"), 2u);
+    EXPECT_TRUE(trace::enabled(trace::Flag::Leak));
+    EXPECT_TRUE(trace::enabled(trace::Flag::Window));
 }
 
 TEST_F(TraceFixture, EventLogDetachedMeansNoRecording)

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include "attacks/poc.hh"
+#include "attacks/races.hh"
 #include "workloads/boot_cache.hh"
 #include "workloads/experiment.hh"
 #include "workloads/profiles.hh"
@@ -190,6 +192,64 @@ TEST(Snapshot, RestoreClearsUnfiredScheduledCallbacks)
     EXPECT_EQ(e.pipeline().pendingScheduled(), 0u);
     e.run(2, 0);
     EXPECT_FALSE(fired);
+}
+
+TEST(Snapshot, LazyDynamicUpdateStatsSurviveRestore)
+{
+    // The dynamic-update stats ("update_latency",
+    // "transient_gap_cycles", "perspective.revocation.stale_allows")
+    // are created lazily the first time their event fires. Snapshot
+    // BEFORE they exist, touch them, restore, and touch them again:
+    // StatSet::assignFrom must zero the entries absent from the
+    // snapshot while keeping cached handles valid, and the rerun must
+    // reproduce the first run exactly.
+    Experiment e(attacks::pocProfile(), Scheme::Perspective, 42);
+    Experiment::Snapshot snap = e.snapshot();
+
+    attacks::RaceResult r1 = attacks::raceRevocation(e);
+    auto &st = e.pipeline().stats();
+    std::uint64_t stale1 =
+        st.get("perspective.revocation.stale_allows");
+    std::uint64_t gap1 = st.histogram("transient_gap_cycles").count();
+    std::uint64_t upd1 = st.histogram("update_latency").count();
+    EXPECT_GT(stale1, 0u);
+    EXPECT_GT(gap1, 0u);
+    EXPECT_GT(upd1, 0u);
+
+    e.restore(snap);
+    EXPECT_EQ(st.get("perspective.revocation.stale_allows"), 0u);
+    EXPECT_EQ(st.histogram("transient_gap_cycles").count(), 0u);
+    EXPECT_EQ(st.histogram("update_latency").count(), 0u);
+
+    attacks::RaceResult r2 = attacks::raceRevocation(e);
+    EXPECT_EQ(st.get("perspective.revocation.stale_allows"), stale1);
+    EXPECT_EQ(st.histogram("transient_gap_cycles").count(), gap1);
+    EXPECT_EQ(st.histogram("update_latency").count(), upd1);
+    EXPECT_EQ(r1.staleAllows, r2.staleAllows);
+    EXPECT_EQ(r1.leakedInWindow, r2.leakedInWindow);
+    EXPECT_EQ(r1.updateLatency, r2.updateLatency);
+}
+
+TEST(Snapshot, LeakLedgerRewindsWithRestore)
+{
+    // The leakage ledger joins Pipeline::Snapshot: a restore rewinds
+    // its accounting alongside the microarchitecture, so a replayed
+    // attack reports identical leakage.
+    Experiment e(attacks::pocProfile(), Scheme::Perspective, 42);
+    Experiment::Snapshot snap = e.snapshot();
+
+    attacks::raceRevocation(e);
+    sim::LeakageSummary s1 = e.pipeline().leakLedger().summary();
+    EXPECT_GT(s1.bytesTransmitted, 0u);
+
+    e.restore(snap);
+    EXPECT_TRUE(e.pipeline().leakLedger().summary().empty());
+
+    attacks::raceRevocation(e);
+    sim::LeakageSummary s2 = e.pipeline().leakLedger().summary();
+    EXPECT_EQ(s1.secretLoads, s2.secretLoads);
+    EXPECT_EQ(s1.transmissions, s2.transmissions);
+    EXPECT_EQ(s1.bytesTransmitted, s2.bytesTransmitted);
 }
 
 TEST(Snapshot, DivergentRunsFromOneSnapshot)
