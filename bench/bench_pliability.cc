@@ -11,7 +11,7 @@
  * "perspective.revocation.stale_allows" counter — alongside the
  * scenario outcome (which attack phases leaked) and the transient-
  * leakage ledger roll-up (secret loads, bytes transmitted, window
- * attribution; DESIGN §5.5). The security contract each scenario
+ * attribution; DESIGN §5.6). The security contract each scenario
  * must satisfy:
  *
  *  - revocation: revoked data is unreachable once the gap closes,

@@ -66,7 +66,7 @@ main(int argc, char **argv)
     std::vector<Scheme> schemes = allSchemes();
     auto suite = lebenchSuite();
 
-    auto makeGrid = [&](const char *boot_tag) {
+    auto makeGrid = [&](const char *boot_tag, bool fastForward) {
         std::vector<SweepCell> cells;
         for (const auto &w : suite) {
             for (Scheme s : schemes) {
@@ -75,7 +75,10 @@ main(int argc, char **argv)
                 c.scheme = s;
                 c.iterations = kIterations;
                 c.warmup = kWarmup;
+                c.fastForward = fastForward;
                 c.tags["boot"] = boot_tag;
+                c.tags["exec"] =
+                    fastForward ? "fastforward" : "detailed";
                 cells.push_back(std::move(c));
             }
         }
@@ -90,13 +93,21 @@ main(int argc, char **argv)
     BootImage::setSnapshotEnabled(false);
     BootImage::dropCache();
     double w0 = sweep.wallSeconds();
-    auto fresh = sweep.run(makeGrid("fresh"));
+    auto fresh = sweep.run(makeGrid("fresh", false));
     ModeTotals freshT = totalsOf(fresh, sweep.wallSeconds() - w0);
 
     BootImage::setSnapshotEnabled(true);
     double w1 = sweep.wallSeconds();
-    auto shared = sweep.run(makeGrid("shared"));
+    auto shared = sweep.run(makeGrid("shared", false));
     ModeTotals sharedT = totalsOf(shared, sweep.wallSeconds() - w1);
+
+    // Shared boot again with fast-forward execution (DESIGN §5.5):
+    // same simulated results bit for bit — the goldens and the
+    // differential suite enforce that — so any MIPS delta is pure
+    // harness throughput.
+    double w2 = sweep.wallSeconds();
+    auto sharedFf = sweep.run(makeGrid("shared", true));
+    ModeTotals sharedFfT = totalsOf(sharedFf, sweep.wallSeconds() - w2);
 
     // Per-cell MIPS table for the fast-path run.
     std::printf("%-14s", "benchmark");
@@ -125,10 +136,16 @@ main(int argc, char **argv)
                 fresh.size(), freshT.wall, freshT.mips());
     std::printf("%-12s %10zu %10.2f %10.2f\n", "shared",
                 shared.size(), sharedT.wall, sharedT.mips());
+    std::printf("%-12s %10zu %10.2f %10.2f\n", "shared+ff",
+                sharedFf.size(), sharedFfT.wall, sharedFfT.mips());
     if (freshT.mips() > 0)
         std::printf("\nboot-snapshot speedup: %.2fx (aggregate "
                     "simulated MIPS, %u jobs)\n",
                     sharedT.mips() / freshT.mips(), sweep.jobs());
+    if (sharedT.mips() > 0)
+        std::printf("fast-forward speedup:  %.2fx over the shared-"
+                    "boot detailed loop\n",
+                    sharedFfT.mips() / sharedT.mips());
 
     return sweep.emitOutputs() ? 0 : 1;
 }

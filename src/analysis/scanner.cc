@@ -34,6 +34,7 @@ GadgetScanner::scan(const ScannerConfig &cfg,
             syscalls.push_back(static_cast<Sys>(i));
     }
 
+    kernel::Interpreter in(img_.program(), mem_);
     for (unsigned e = 0; e < cfg.executions; ++e) {
         // Syzkaller-style input generation: random syscall, random
         // arguments, and the error/variant knobs that steer execution
@@ -45,7 +46,7 @@ GadgetScanner::scan(const ScannerConfig &cfg,
         inv.arg2 = rnd(4) + 1;
 
         auto prep = exec_.prepare(pid_, inv);
-        kernel::Interpreter in(img_.program(), mem_);
+        in.reset();
         for (auto [r, v] : prep.regs)
             in.setReg(r, v);
         // Flip the knobs on most executions to explore error paths

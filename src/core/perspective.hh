@@ -163,10 +163,20 @@ class PerspectivePolicy : public sim::SpeculationPolicy
     /** Revocations scheduled but not yet landed (the open window). */
     std::size_t pendingRevocations() const { return pending_.size(); }
 
+    /** Fast-forward is deferred while a revocation window is open:
+     * landing is driven by gate checks against the clock, and the
+     * conservative contract (DESIGN §5.5) keeps the detailed path in
+     * charge whenever dynamic-update state is in flight. */
+    bool
+    allowFastForward() const override
+    {
+        return pending_.empty();
+    }
+
     /**
      * Which dynamic-update window (if any) is open for @p va in the
      * context registered under @p asid — the leakage ledger's
-     * attribution hook (DESIGN §5.5). Pure lookup, no side effects:
+     * attribution hook (DESIGN §5.6). Pure lookup, no side effects:
      * a pending revocation covering @p va's frame wins, then an
      * unsynced fleet flip, then an unsynced ISV epoch; Baseline means
      * "no open window explains a stale allow".

@@ -52,7 +52,7 @@ namespace perspective::harness
  * edited defaults, toolchain quirks being chased, …). Part of the
  * code fingerprint, so a bump invalidates every cached cell.
  */
-inline constexpr unsigned kSimResultEpoch = 3; // +leakage block in cell JSON
+inline constexpr unsigned kSimResultEpoch = 4; // +fast-forward mode in cell key
 
 /**
  * The code half of the cache key: a 16-hex-digit FNV-1a over the

@@ -76,7 +76,7 @@ probeWritable(const std::string &path, const char *what)
 std::string
 hashCellConfig(const std::string &workload, const std::string &scheme,
                std::uint64_t seed, unsigned iterations,
-               unsigned warmup,
+               unsigned warmup, bool fastForward,
                const std::map<std::string, std::string> &tags)
 {
     // FNV-1a 64 over every knob that determines the cell's outcome;
@@ -98,6 +98,7 @@ hashCellConfig(const std::string &workload, const std::string &scheme,
     mix(std::to_string(seed));
     mix(std::to_string(iterations));
     mix(std::to_string(warmup));
+    mix(fastForward ? "ff" : "detailed");
     for (const auto &[k, v] : tags) {
         mix(k);
         mix(v);
@@ -298,6 +299,7 @@ SweepRunner::run(const std::vector<SweepCell> &cells)
         slot.seed = cell.seed;
         slot.iterations = cell.iterations;
         slot.warmup = cell.warmup;
+        slot.fastForward = cell.fastForward;
         slot.tags = cell.tags;
         slot.gridIndex = nextGridIndex_++;
 
@@ -363,7 +365,8 @@ SweepRunner::run(const std::vector<SweepCell> &cells)
                     slot.result = cell.body(cell);
                 } else {
                     workloads::Experiment e(cell.profile, cell.scheme,
-                                            cell.seed);
+                                            cell.seed,
+                                            cell.fastForward);
                     slot.result =
                         e.run(cell.iterations, cell.warmup);
                 }
@@ -412,7 +415,7 @@ std::string
 cellConfigHash(const CellResult &r)
 {
     return hashCellConfig(r.workload, r.scheme, r.seed, r.iterations,
-                          r.warmup, r.tags);
+                          r.warmup, r.fastForward, r.tags);
 }
 
 std::string
@@ -420,7 +423,8 @@ cellConfigHash(const SweepCell &c)
 {
     return hashCellConfig(c.profile.name,
                           workloads::schemeName(c.scheme), c.seed,
-                          c.iterations, c.warmup, c.tags);
+                          c.iterations, c.warmup, c.fastForward,
+                          c.tags);
 }
 
 CellResult
@@ -432,6 +436,8 @@ cellFromCachedJson(const Json &cell)
     r.seed = uintField(cell, "seed");
     r.iterations = static_cast<unsigned>(uintField(cell, "iterations"));
     r.warmup = static_cast<unsigned>(uintField(cell, "warmup"));
+    if (cell.contains("fast_forward"))
+        r.fastForward = cell.at("fast_forward").asBool();
     if (cell.contains("tags"))
         for (const auto &[k, v] : cell.at("tags").asObject())
             r.tags[k] = v.asString();
@@ -522,6 +528,7 @@ cellToJson(const CellResult &r, unsigned jobs)
     o["seed"] = r.seed;
     o["iterations"] = r.iterations;
     o["warmup"] = r.warmup;
+    o["fast_forward"] = r.fastForward;
     o["wall_seconds"] = r.wallSeconds;
     o["ok"] = r.ok;
     o["grid_index"] = r.gridIndex;
@@ -598,7 +605,7 @@ cellToJson(const CellResult &r, unsigned jobs)
     }
     o["timeseries"] = std::move(series);
 
-    // Transient-leakage accounting (schema 4, DESIGN §5.5). Always
+    // Transient-leakage accounting (schema 4, DESIGN §5.6). Always
     // present — a zero block is an explicit "no leakage observed",
     // which the leak gates depend on.
     const sim::LeakageSummary &lk = res.leakage;
@@ -671,7 +678,7 @@ SweepRunner::toJson() const
 
     if (traceLog_) {
         // Event-log health: consumers must be able to tell a quiet
-        // trace from a saturated one (satellite of DESIGN §5.5).
+        // trace from a saturated one (satellite of DESIGN §5.6).
         Json::Object tr;
         tr["events"] = traceLog_->size();
         tr["dropped"] = traceLog_->dropped();

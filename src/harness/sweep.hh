@@ -52,6 +52,13 @@ struct SweepCell
     unsigned iterations = 30;
     unsigned warmup = 3;
 
+    /** Fast-forward execution mode (timing-exact; DESIGN §5.5).
+     * Part of the cell's config hash: although results are
+     * bit-identical by contract, the modes must never share cache
+     * entries — a cached cell must replay the mode that produced
+     * it. Defaults to the PERSPECTIVE_FASTFWD environment switch. */
+    bool fastForward = workloads::Experiment::fastForwardDefault();
+
     /** Free-form metadata carried into the result and the JSON
      * emission (e.g. an ablation's config knob values). */
     std::map<std::string, std::string> tags;
@@ -74,6 +81,7 @@ struct CellResult
     std::uint64_t seed = 0;
     unsigned iterations = 0;
     unsigned warmup = 0;
+    bool fastForward = false;
     std::map<std::string, std::string> tags;
 
     workloads::RunResult result;
@@ -255,7 +263,8 @@ CellResult cellFromCachedJson(const Json &cell);
 Json cellToJson(const CellResult &r, unsigned jobs);
 
 /** Deterministic FNV-1a hash of a cell's configuration
- * (workload, scheme, seed, iterations, warmup, tags) as 16 hex
+ * (workload, scheme, seed, iterations, warmup, execution mode,
+ * tags) as 16 hex
  * digits; the provenance key bench_report matches cells by, the
  * cell cache stores under, and the shard partition keys on. Cells
  * with custom bodies must carry distinguishing tags (the grid

@@ -1,22 +1,39 @@
 #include "interp.hh"
 
-#include <vector>
-
 namespace perspective::kernel
 {
 
 using namespace sim;
 
+SuperblockCache &
+Interpreter::cache()
+{
+    if (blocks_)
+        return *blocks_;
+    if (!ownBlocks_)
+        ownBlocks_ = std::make_unique<SuperblockCache>(prog_);
+    return *ownBlocks_;
+}
+
+/*
+ * Dispatch is threaded over predecoded superblocks: every op carries a
+ * flat SbKind, so the hot loop is "execute handler, bump cursor,
+ * indexed jump" with no per-op decode switch and no bounds check (the
+ * block's last op is always a terminator, kSbEnd included). GCC/Clang
+ * get labels-as-values; other compilers fall back to a switch over the
+ * same handlers.
+ */
+
+#if defined(__GNUC__) || defined(__clang__)
+#define PERSPECTIVE_THREADED_DISPATCH 1
+#endif
+
 Interpreter::Result
 Interpreter::run(FuncId entry, std::uint64_t max_uops,
                  const std::function<void(FuncId)> &on_func)
 {
-    struct Frame
-    {
-        FuncId func;
-        std::uint32_t idx;
-    };
-    std::vector<Frame> stack;
+    SuperblockCache &sbc = cache();
+    stack_.clear();
     FuncId func = entry;
     std::uint32_t idx = 0;
     Result res;
@@ -24,102 +41,334 @@ Interpreter::run(FuncId entry, std::uint64_t max_uops,
     if (on_func)
         on_func(func);
 
-    while (res.uops < max_uops) {
-        const Function &f = prog_.func(func);
-        if (idx >= f.body.size()) {
-            // Defensive: treat running off the end as a return.
-            if (stack.empty()) {
-                res.completed = true;
-                return res;
-            }
-            func = stack.back().func;
-            idx = stack.back().idx;
-            stack.pop_back();
-            continue;
-        }
-        const MicroOp &op = f.body[idx];
-        ++res.uops;
+    const SbOp *cur = nullptr;
+    const SbOp *blockBase = nullptr;
+    std::uint32_t blockIdx = 0;
 
-        switch (op.op) {
-          case Op::Nop:
-          case Op::Fence:
-            ++idx;
-            break;
-          case Op::IntAlu:
-          case Op::IntMul: {
-            std::uint64_t a =
-                op.src1 != kNoReg ? regs_[op.src1] : 0;
-            std::uint64_t b =
-                op.src2 != kNoReg
-                    ? regs_[op.src2]
-                    : static_cast<std::uint64_t>(op.imm);
-            regs_[op.dst] = evalAluOp(op, a, b);
-            ++idx;
-            break;
-          }
-          case Op::Load: {
-            Addr base = op.src1 != kNoReg ? regs_[op.src1] : 0;
-            regs_[op.dst] = mem_.read(
-                base + static_cast<std::uint64_t>(op.imm));
-            ++idx;
-            break;
-          }
-          case Op::Store: {
-            Addr base = op.src1 != kNoReg ? regs_[op.src1] : 0;
-            if (!dryStores_) {
-                mem_.write(base + static_cast<std::uint64_t>(op.imm),
-                           regs_[op.src2]);
-            }
-            ++idx;
-            break;
-          }
-          case Op::Branch: {
-            std::uint64_t a = regs_[op.src1];
-            std::uint64_t b =
-                op.src2 != kNoReg
-                    ? regs_[op.src2]
-                    : static_cast<std::uint64_t>(op.imm);
-            idx = evalCondOp(op.cond, a, b) ? op.target : idx + 1;
-            break;
-          }
-          case Op::Jump:
-            idx = op.target;
-            break;
-          case Op::Call: {
-            stack.push_back({func, idx + 1});
-            func = op.callee;
-            idx = 0;
-            if (on_func)
-                on_func(func);
-            break;
-          }
-          case Op::IndirectCall: {
-            FuncId target = static_cast<FuncId>(regs_[op.src1]);
-            if (target >= prog_.numFunctions()) {
-                // Wild pointer (possible under fuzzing): skip.
-                ++idx;
+    // Index of the op `cur` points at, valid inside terminator
+    // handlers (straight-line handlers never need it).
+#define PERSPECTIVE_CUR_IDX()                                          \
+    (blockIdx + static_cast<std::uint32_t>(cur - blockBase))
+
+#ifdef PERSPECTIVE_THREADED_DISPATCH
+
+    static const void *const kJump[kSbNumKinds] = {
+        &&h_nop,    &&h_add,  &&h_sub,   &&h_and,   &&h_shl,
+        &&h_shr,    &&h_movi, &&h_mov,   &&h_mul,   &&h_load,
+        &&h_store,  &&h_branch, &&h_jump, &&h_call, &&h_icall,
+        &&h_return, &&h_fence, &&h_end,
+    };
+
+// Budget check precedes every dispatch, exactly like the original
+// per-op while loop; real handlers count their own uop.
+#define DISPATCH()                                                     \
+    do {                                                               \
+        if (res.uops >= max_uops) [[unlikely]]                         \
+            return res;                                                \
+        goto *kJump[cur->kind];                                        \
+    } while (0)
+
+next_block:
+    {
+        const Superblock &sb = sbc.at(func, idx);
+        blockBase = cur = sb.ops.data();
+        blockIdx = idx;
+    }
+    DISPATCH();
+
+h_nop:
+    ++res.uops;
+    ++cur;
+    DISPATCH();
+
+h_add: {
+    ++res.uops;
+    const MicroOp &op = *cur->op;
+    std::uint64_t a = op.src1 != kNoReg ? regs_[op.src1] : 0;
+    regs_[op.dst] =
+        op.src2 != kNoReg
+            ? a + regs_[op.src2] + static_cast<std::uint64_t>(op.imm)
+            : a + static_cast<std::uint64_t>(op.imm);
+    ++cur;
+    DISPATCH();
+}
+
+h_sub: {
+    ++res.uops;
+    const MicroOp &op = *cur->op;
+    std::uint64_t a = op.src1 != kNoReg ? regs_[op.src1] : 0;
+    std::uint64_t b = op.src2 != kNoReg
+                          ? regs_[op.src2]
+                          : static_cast<std::uint64_t>(op.imm);
+    regs_[op.dst] = a - b;
+    ++cur;
+    DISPATCH();
+}
+
+h_and: {
+    ++res.uops;
+    const MicroOp &op = *cur->op;
+    std::uint64_t a = op.src1 != kNoReg ? regs_[op.src1] : 0;
+    regs_[op.dst] = a & static_cast<std::uint64_t>(op.imm);
+    ++cur;
+    DISPATCH();
+}
+
+h_shl: {
+    ++res.uops;
+    const MicroOp &op = *cur->op;
+    std::uint64_t a = op.src1 != kNoReg ? regs_[op.src1] : 0;
+    regs_[op.dst] = a << (op.imm & 63);
+    ++cur;
+    DISPATCH();
+}
+
+h_shr: {
+    ++res.uops;
+    const MicroOp &op = *cur->op;
+    std::uint64_t a = op.src1 != kNoReg ? regs_[op.src1] : 0;
+    regs_[op.dst] = a >> (op.imm & 63);
+    ++cur;
+    DISPATCH();
+}
+
+h_movi: {
+    ++res.uops;
+    const MicroOp &op = *cur->op;
+    regs_[op.dst] = static_cast<std::uint64_t>(op.imm);
+    ++cur;
+    DISPATCH();
+}
+
+h_mov: {
+    ++res.uops;
+    const MicroOp &op = *cur->op;
+    regs_[op.dst] = op.src1 != kNoReg ? regs_[op.src1] : 0;
+    ++cur;
+    DISPATCH();
+}
+
+h_mul: {
+    // IntMul's value function is whatever its AluOp says (the stock
+    // builder leaves AluOp::Add; only the pipeline charges multiply
+    // latency), so defer to evalAluOp rather than multiplying.
+    ++res.uops;
+    const MicroOp &op = *cur->op;
+    std::uint64_t a = op.src1 != kNoReg ? regs_[op.src1] : 0;
+    std::uint64_t b = op.src2 != kNoReg
+                          ? regs_[op.src2]
+                          : static_cast<std::uint64_t>(op.imm);
+    regs_[op.dst] = evalAluOp(op, a, b);
+    ++cur;
+    DISPATCH();
+}
+
+h_load: {
+    ++res.uops;
+    const MicroOp &op = *cur->op;
+    Addr ea = (op.src1 != kNoReg ? regs_[op.src1] : 0) +
+              static_cast<std::uint64_t>(op.imm);
+    regs_[op.dst] = mem_.read(ea);
+    ++cur;
+    DISPATCH();
+}
+
+h_store: {
+    ++res.uops;
+    const MicroOp &op = *cur->op;
+    if (!dryStores_) {
+        Addr ea = (op.src1 != kNoReg ? regs_[op.src1] : 0) +
+                  static_cast<std::uint64_t>(op.imm);
+        mem_.write(ea, regs_[op.src2]);
+    }
+    ++cur;
+    DISPATCH();
+}
+
+h_branch: {
+    ++res.uops;
+    const MicroOp &op = *cur->op;
+    std::uint64_t a = regs_[op.src1];
+    std::uint64_t b = op.src2 != kNoReg
+                          ? regs_[op.src2]
+                          : static_cast<std::uint64_t>(op.imm);
+    idx = evalCondOp(op.cond, a, b) ? op.target
+                                    : PERSPECTIVE_CUR_IDX() + 1;
+    goto next_block;
+}
+
+h_jump:
+    ++res.uops;
+    idx = cur->op->target;
+    goto next_block;
+
+h_call: {
+    ++res.uops;
+    stack_.push_back({func, PERSPECTIVE_CUR_IDX() + 1});
+    func = cur->op->callee;
+    idx = 0;
+    if (on_func)
+        on_func(func);
+    goto next_block;
+}
+
+h_icall: {
+    ++res.uops;
+    const MicroOp &op = *cur->op;
+    std::uint64_t raw = regs_[op.src1];
+    if (!validCallTarget(prog_, raw)) {
+        // Wild pointer: architected no-op call, fall through.
+        idx = PERSPECTIVE_CUR_IDX() + 1;
+        goto next_block;
+    }
+    stack_.push_back({func, PERSPECTIVE_CUR_IDX() + 1});
+    func = static_cast<FuncId>(raw);
+    idx = 0;
+    if (on_func)
+        on_func(func);
+    goto next_block;
+}
+
+h_return:
+    ++res.uops;
+    if (stack_.empty()) {
+        res.completed = true;
+        return res;
+    }
+    func = stack_.back().func;
+    idx = stack_.back().idx;
+    stack_.pop_back();
+    goto next_block;
+
+h_fence:
+    ++res.uops;
+    idx = PERSPECTIVE_CUR_IDX() + 1;
+    goto next_block;
+
+h_end:
+    // Ran off the end of the body: defensive return (no uop charged).
+    if (stack_.empty()) {
+        res.completed = true;
+        return res;
+    }
+    func = stack_.back().func;
+    idx = stack_.back().idx;
+    stack_.pop_back();
+    goto next_block;
+
+#undef DISPATCH
+
+#else // !PERSPECTIVE_THREADED_DISPATCH
+
+    for (;;) {
+        const Superblock &sb = sbc.at(func, idx);
+        blockBase = cur = sb.ops.data();
+        blockIdx = idx;
+        for (;;) {
+            if (res.uops >= max_uops)
+                return res;
+            const std::uint8_t kind = cur->kind;
+            if (kind != kSbEnd)
+                ++res.uops;
+            switch (kind) {
+              case kSbNop:
+                ++cur;
+                continue;
+              case kSbAluAdd:
+              case kSbAluSub:
+              case kSbAluAnd:
+              case kSbAluShl:
+              case kSbAluShr:
+              case kSbAluMovI:
+              case kSbAluMov:
+              case kSbMul: {
+                const MicroOp &op = *cur->op;
+                std::uint64_t a =
+                    op.src1 != kNoReg ? regs_[op.src1] : 0;
+                std::uint64_t b =
+                    op.src2 != kNoReg
+                        ? regs_[op.src2]
+                        : static_cast<std::uint64_t>(op.imm);
+                regs_[op.dst] = evalAluOp(op, a, b);
+                ++cur;
+                continue;
+              }
+              case kSbLoad: {
+                const MicroOp &op = *cur->op;
+                Addr ea = (op.src1 != kNoReg ? regs_[op.src1] : 0) +
+                          static_cast<std::uint64_t>(op.imm);
+                regs_[op.dst] = mem_.read(ea);
+                ++cur;
+                continue;
+              }
+              case kSbStore: {
+                const MicroOp &op = *cur->op;
+                if (!dryStores_) {
+                    Addr ea =
+                        (op.src1 != kNoReg ? regs_[op.src1] : 0) +
+                        static_cast<std::uint64_t>(op.imm);
+                    mem_.write(ea, regs_[op.src2]);
+                }
+                ++cur;
+                continue;
+              }
+              case kSbBranch: {
+                const MicroOp &op = *cur->op;
+                std::uint64_t a = regs_[op.src1];
+                std::uint64_t b =
+                    op.src2 != kNoReg
+                        ? regs_[op.src2]
+                        : static_cast<std::uint64_t>(op.imm);
+                idx = evalCondOp(op.cond, a, b)
+                          ? op.target
+                          : PERSPECTIVE_CUR_IDX() + 1;
+                break;
+              }
+              case kSbJump:
+                idx = cur->op->target;
+                break;
+              case kSbCall:
+                stack_.push_back({func, PERSPECTIVE_CUR_IDX() + 1});
+                func = cur->op->callee;
+                idx = 0;
+                if (on_func)
+                    on_func(func);
+                break;
+              case kSbIndirectCall: {
+                const MicroOp &op = *cur->op;
+                std::uint64_t raw = regs_[op.src1];
+                if (!validCallTarget(prog_, raw)) {
+                    idx = PERSPECTIVE_CUR_IDX() + 1;
+                    break;
+                }
+                stack_.push_back({func, PERSPECTIVE_CUR_IDX() + 1});
+                func = static_cast<FuncId>(raw);
+                idx = 0;
+                if (on_func)
+                    on_func(func);
+                break;
+              }
+              case kSbReturn:
+              case kSbEnd:
+                if (stack_.empty()) {
+                    res.completed = true;
+                    return res;
+                }
+                func = stack_.back().func;
+                idx = stack_.back().idx;
+                stack_.pop_back();
+                break;
+              case kSbFence:
+                idx = PERSPECTIVE_CUR_IDX() + 1;
                 break;
             }
-            stack.push_back({func, idx + 1});
-            func = target;
-            idx = 0;
-            if (on_func)
-                on_func(func);
-            break;
-          }
-          case Op::Return: {
-            if (stack.empty()) {
-                res.completed = true;
-                return res;
-            }
-            func = stack.back().func;
-            idx = stack.back().idx;
-            stack.pop_back();
-            break;
-          }
+            break; // terminator handled: fetch the next block
         }
     }
-    return res; // budget exhausted
+
+#endif // PERSPECTIVE_THREADED_DISPATCH
+
+#undef PERSPECTIVE_CUR_IDX
 }
 
 } // namespace perspective::kernel

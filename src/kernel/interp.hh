@@ -5,7 +5,12 @@
  * timing) and reports which functions run. It is the engine behind:
  *
  *  - the ftrace-style tracer that builds dynamic ISVs (Section 5.3),
- *  - the Kasper/Syzkaller-style fuzzing loop of the gadget scanner.
+ *  - the Kasper/Syzkaller-style fuzzing loop of the gadget scanner,
+ *  - the fast-forward executor's functional half (DESIGN §5.5).
+ *
+ * Dispatch is threaded over predecoded superblocks (sim/superblock.hh)
+ * instead of a per-op decode switch; the call stack persists across
+ * run() invocations so steady-state tracing allocates nothing.
  */
 
 #ifndef PERSPECTIVE_KERNEL_INTERP_HH
@@ -14,9 +19,12 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <vector>
 
 #include "sim/memory.hh"
 #include "sim/program.hh"
+#include "sim/superblock.hh"
 #include "types.hh"
 
 namespace perspective::kernel
@@ -26,8 +34,15 @@ namespace perspective::kernel
 class Interpreter
 {
   public:
-    Interpreter(const sim::Program &prog, sim::Memory &mem)
-        : prog_(prog), mem_(mem)
+    /**
+     * @p blocks (optional) injects a shared predecoded-superblock
+     * cache so short-lived interpreters (the per-request tracers) do
+     * not re-decode the image; without one the interpreter builds its
+     * own lazily.
+     */
+    Interpreter(const sim::Program &prog, sim::Memory &mem,
+                sim::SuperblockCache *blocks = nullptr)
+        : prog_(prog), mem_(mem), blocks_(blocks)
     {
     }
 
@@ -37,6 +52,17 @@ class Interpreter
     /** When set, stores are discarded (fuzzing must not corrupt the
      * semantic kernel state). */
     void setDryStores(bool dry) { dryStores_ = dry; }
+
+    /** Restore the freshly-constructed architectural state (all
+     * registers zero, stores live) so one long-lived interpreter can
+     * replace a construct-per-invocation pattern without behavioral
+     * difference. Decoded superblocks are retained. */
+    void
+    reset()
+    {
+        regs_.fill(0);
+        dryStores_ = false;
+    }
 
     struct Result
     {
@@ -52,10 +78,22 @@ class Interpreter
                const std::function<void(sim::FuncId)> &on_func = {});
 
   private:
+    sim::SuperblockCache &cache();
+
     const sim::Program &prog_;
     sim::Memory &mem_;
+    sim::SuperblockCache *blocks_ = nullptr;
+    std::unique_ptr<sim::SuperblockCache> ownBlocks_;
     std::array<std::uint64_t, sim::kNumRegs> regs_{};
     bool dryStores_ = false;
+
+    struct Frame
+    {
+        sim::FuncId func;
+        std::uint32_t idx;
+    };
+    /** Persistent call stack: cleared, never reallocated, per run. */
+    std::vector<Frame> stack_;
 };
 
 } // namespace perspective::kernel

@@ -1,7 +1,7 @@
 /**
  * @file
  * Transient-leakage ledger: taint-based accounting of secret bytes
- * exposed during speculation (ConTExT-style, see DESIGN §5.5).
+ * exposed during speculation (ConTExT-style, see DESIGN §5.6).
  *
  * The pipeline classifies each *speculative* load's target against
  * kernel ground truth (a pluggable SecretClassifier — data a correct

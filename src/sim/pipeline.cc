@@ -1,5 +1,6 @@
 #include "pipeline.hh"
 
+#include "superblock.hh"
 #include "trace.hh"
 
 #include <algorithm>
@@ -25,8 +26,10 @@ Pipeline::Pipeline(const Program &prog, Memory &mem,
       caches_(defaultL1I(), defaultL1D(), defaultL2(),
               params.dramLatency),
       dtlb_(512, 4, 30),
-      stackBase_(kDefaultStackBase)
+      stackBase_(kDefaultStackBase),
+      sbCache_(prog)
 {
+    rob_.init(params_.robSize);
     renameValid_.fill(false);
     ledger_.setEnabled(params_.leakLedger);
 
@@ -46,6 +49,9 @@ Pipeline::Pipeline(const Program &prog, Memory &mem,
     ctrSquashes_ = stats_.counter("squashes");
     ctrGateChecks_ = stats_.counter("gate.checks");
     ctrGateElided_ = stats_.counter("gate.elided");
+    ctrFfUops_ = stats_.counter("ff.uops");
+    ctrFfEntries_ = stats_.counter("ff.entries");
+    ctrFfCycles_ = stats_.counter("ff.cycles");
 
     // Registered up front so every run — even one with no squash or
     // fence — reports the full set of distribution summaries.
@@ -98,12 +104,38 @@ Pipeline::setPolicy(SpeculationPolicy *policy)
 Pipeline::RobEntry *
 Pipeline::findBySeq(std::uint64_t seq)
 {
-    auto it = std::lower_bound(
-        rob_.begin(), rob_.end(), seq,
-        [](const RobEntry &e, std::uint64_t s) { return e.seq < s; });
-    if (it == rob_.end() || it->seq != seq)
+    if (rob_.empty() || seq < rob_.front().seq ||
+        seq > rob_.back().seq)
         return nullptr;
-    return &*it;
+    // Seqs are dense except for squash holes (nextSeq_ never rewinds),
+    // so seq - frontSeq is an upper bound on the index and exact when
+    // no hole sits below — the overwhelmingly common case: one probe.
+    std::size_t i =
+        static_cast<std::size_t>(seq - rob_.front().seq);
+    if (i >= rob_.size())
+        i = rob_.size() - 1;
+    // Walk down past squash holes; in a pathological squash storm the
+    // hole count can exceed the ROB's depth budget, so bound the walk
+    // and fall back to binary search over the remaining prefix.
+    for (unsigned probes = 0; probes < 16; ++probes) {
+        RobEntry &e = rob_[i];
+        if (e.seq == seq)
+            return &e;
+        if (e.seq < seq || i == 0)
+            return nullptr;
+        --i;
+    }
+    std::size_t lo = 0, hi = i + 1; // seqs ascend over [0, i]
+    while (lo < hi) {
+        std::size_t mid = (lo + hi) / 2;
+        if (rob_[mid].seq < seq)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    if (lo <= i && rob_[lo].seq == seq)
+        return &rob_[lo];
+    return nullptr;
 }
 
 void
@@ -113,25 +145,37 @@ Pipeline::captureOperand(RobEntry &e, unsigned slot, RegId reg)
     if (reg == kNoReg) {
         e.srcReady[slot] = true;
         e.srcVal[slot] = 0;
+        e.srcLeakTaint[slot] = 0;
         e.srcProd[slot] = RobEntry::kNoSeq;
+        e.srcProdPtr[slot] = nullptr;
         return;
     }
     if (renameValid_[reg]) {
         std::uint64_t pseq = renameMap_[reg];
-        RobEntry *p = findBySeq(pseq);
-        assert(p && "rename map points at a live entry");
+        RobEntry *p = renameProd_[reg];
+        assert(p && p->seq == pseq &&
+               "rename map points at a live entry");
         e.srcProd[slot] = pseq;
+        e.srcProdPtr[slot] = p;
         if (p->state == EState::Done) {
             e.srcVal[slot] = p->result;
             e.srcLeakTaint[slot] = p->leakTaint;
             e.srcReady[slot] = true;
         } else {
+            // Value and leak taint arrive via the producer's wakeup
+            // edge; pre-clear the taint so a recycled slot cannot
+            // smuggle a previous occupant's.
+            e.srcLeakTaint[slot] = 0;
             e.srcReady[slot] = false;
         }
     } else {
+        // Architectural-file read: committed values carry no live
+        // leak taint (their sources retired at commit).
         e.srcVal[slot] = regs_[reg];
+        e.srcLeakTaint[slot] = 0;
         e.srcReady[slot] = true;
         e.srcProd[slot] = RobEntry::kNoSeq;
+        e.srcProdPtr[slot] = nullptr;
     }
 }
 
@@ -148,9 +192,10 @@ Pipeline::registerDispatch(RobEntry &e)
         if (e.srcReady[s])
             continue;
         ++e.pendingSrcs;
-        RobEntry *p = findBySeq(e.srcProd[s]);
-        assert(p && "unready operand has a live producer");
-        p->wakeup.emplace_back(e.seq, s);
+        RobEntry *p = e.srcProdPtr[s];
+        assert(p && p->seq == e.srcProd[s] &&
+               "unready operand has a live producer");
+        p->wakeup.push_back({&e, e.seq, s});
     }
     if (e.pendingSrcs == 0)
         readyQ_.emplace_back(e.seq, &e); // youngest: append keeps order
@@ -167,7 +212,7 @@ Pipeline::registerDispatch(RobEntry &e)
         break;
     }
     if (e.isControl)
-        unresolvedCtls_.push_back(e.seq);
+        unresolvedCtls_.emplace_back(e.seq, &e);
 }
 
 void
@@ -182,13 +227,13 @@ Pipeline::enqueueReady(RobEntry &e)
 void
 Pipeline::onComplete(RobEntry &e)
 {
-    for (auto [cseq, slot] : e.wakeup) {
-        RobEntry *c = findBySeq(cseq);
-        if (!c || c->srcReady[slot])
+    for (const RobEntry::WakeEdge &w : e.wakeup) {
+        RobEntry *c = w.consumer;
+        if (c->seq != w.seq || c->srcReady[w.slot])
             continue; // consumer squashed since registration
-        c->srcVal[slot] = e.result;
-        c->srcLeakTaint[slot] = e.leakTaint;
-        c->srcReady[slot] = true;
+        c->srcVal[w.slot] = e.result;
+        c->srcLeakTaint[w.slot] = e.leakTaint;
+        c->srcReady[w.slot] = true;
         if (--c->pendingSrcs == 0)
             enqueueReady(*c);
     }
@@ -196,8 +241,10 @@ Pipeline::onComplete(RobEntry &e)
     if (e.op->op == Op::Fence) {
         auto it = std::lower_bound(pendingFences_.begin(),
                                    pendingFences_.end(), e.seq);
-        if (it != pendingFences_.end() && *it == e.seq)
+        if (it != pendingFences_.end() && *it == e.seq) {
             pendingFences_.erase(it);
+            ++memGen_;
+        }
     }
 }
 
@@ -205,10 +252,13 @@ std::uint64_t
 Pipeline::horizonSeq()
 {
     while (!unresolvedCtls_.empty()) {
-        RobEntry *e = findBySeq(unresolvedCtls_.front());
-        if (e && !e->resolved)
-            return e->seq;
-        unresolvedCtls_.pop_front(); // resolved or committed
+        auto [seq, e] = unresolvedCtls_.front();
+        // Slot validation: a squashed ctl's seq was invalidated, a
+        // recycled slot carries a different seq, and a committed ctl
+        // keeps its seq but was necessarily resolved first.
+        if (e->seq == seq && !e->resolved)
+            return seq;
+        unresolvedCtls_.pop_front(); // resolved, committed or dead
     }
     return RobEntry::kNoSeq;
 }
@@ -225,8 +275,13 @@ Pipeline::addrTainted(RobEntry &e)
 {
     if (e.srcProd[0] == RobEntry::kNoSeq)
         return false;
-    RobEntry *p = findBySeq(e.srcProd[0]);
-    return p && taintOf(*p);
+    // Captured producer slot, validated by seq. A recycled slot
+    // (producer committed long ago) misses, matching the old
+    // ROB-search null; a still-resident committed producer recomputes
+    // to untainted (nothing older than every live control can be
+    // speculative), which is what the old null meant.
+    RobEntry *p = e.srcProdPtr[0];
+    return p && p->seq == e.srcProd[0] && taintOf(*p);
 }
 
 bool
@@ -253,8 +308,8 @@ Pipeline::taintOf(RobEntry &e)
         for (unsigned s = 0; s < 2 && !t; ++s) {
             if (e.srcProd[s] == RobEntry::kNoSeq)
                 continue;
-            RobEntry *p = findBySeq(e.srcProd[s]);
-            t = p && taintOf(*p);
+            RobEntry *p = e.srcProdPtr[s]; // see addrTainted
+            t = p && p->seq == e.srcProd[s] && taintOf(*p);
         }
         break;
       default:
@@ -313,10 +368,14 @@ Pipeline::tryIssueLoad(RobEntry &e)
     // an older not-yet-Done fence or an older store whose address is
     // still unknown stalls the load. pendingFences_/pendingStores_
     // are seq-sorted, so the oldest blocker is at the front.
-    if (!pendingFences_.empty() && pendingFences_.front() < e.seq)
+    if (!pendingFences_.empty() && pendingFences_.front() < e.seq) {
+        e.memGen = memGen_;
         return false;
-    if (!pendingStores_.empty() && pendingStores_.front() < e.seq)
+    }
+    if (!pendingStores_.empty() && pendingStores_.front() < e.seq) {
+        e.memGen = memGen_;
         return false;
+    }
 
     // Store-to-load forwarding: every older store has a resolved
     // address now; the youngest same-address one (the last match the
@@ -401,7 +460,7 @@ Pipeline::tryIssueLoad(RobEntry &e)
         e.result = mem_.read(e.effAddr);
     }
 
-    // Transient-leakage ledger (observation-only, DESIGN §5.5). A
+    // Transient-leakage ledger (observation-only, DESIGN §5.6). A
     // tainted address reaching a durable uarch state change is a
     // transmission; a speculative load of ground-truth-secret data
     // opens a new taint source. Ordering matters: the transmission
@@ -444,7 +503,7 @@ Pipeline::tryIssueLoad(RobEntry &e)
     e.state = EState::Executing;
     e.issueCycle = now_;
     e.doneCycle = now_ + lat;
-    eventQ_.emplace(e.doneCycle, e.seq);
+    eventQ_.emplace(e.doneCycle, e.seq, &e);
     histLoadWait_->sample(now_ - e.dispatchCycle);
     ctrLoads_.inc();
     if (spec)
@@ -456,9 +515,11 @@ void
 Pipeline::rebuildRenameMap()
 {
     renameValid_.fill(false);
-    for (auto &e : rob_) {
+    for (std::size_t i = 0; i < rob_.size(); ++i) {
+        RobEntry &e = rob_[i];
         if (e.op->dst != kNoReg) {
             renameMap_[e.op->dst] = e.seq;
+            renameProd_[e.op->dst] = &e;
             renameValid_[e.op->dst] = true;
         }
     }
@@ -483,7 +544,8 @@ Pipeline::squashAfter(std::uint64_t seq)
     chopPairs(storeQ_);
     chopSeqs(pendingStores_);
     chopSeqs(pendingFences_);
-    chopSeqs(unresolvedCtls_);
+    ++memGen_; // chopped fronts may have receded
+    chopPairs(unresolvedCtls_);
     // eventQ_ entries for squashed seqs are dropped lazily on pop.
 
     std::uint64_t depth = 0;
@@ -504,6 +566,10 @@ Pipeline::squashAfter(std::uint64_t seq)
                        victim.dispatchCycle, " (squashed)");
         ctrSquashedUops_.inc();
         ++depth;
+        // Invalidate the slot's seq so pointer-carrying references
+        // (wakeup edges, events, unresolved-ctl fronts) read the
+        // squash as a liveness miss until the slot is recycled.
+        victim.seq = RobEntry::kNoSeq;
         rob_.pop_back();
     }
     histSquashDepth_->sample(depth);
@@ -537,6 +603,24 @@ Pipeline::resolveControl(RobEntry &e)
         break;
       }
       case Op::IndirectCall: {
+        if (!validCallTarget(prog_, e.srcVal[0])) {
+            // Wild pointer: architected no-op call (the rule shared
+            // with the interpreter — see sim/superblock.hh). No
+            // predictor learns the wild value and no frame is pushed;
+            // whatever the front end did (followed a stale BTB target
+            // or stalled) is undone and fetch resumes at fall-through.
+            mispredict = true;
+            squashAfter(e.seq);
+            cond_.restoreHistory(e.histCkpt);
+            rsb_.restore(e.rsbCkpt);
+            fetch_.stack = e.stackCkpt;
+            fetch_.func = e.func;
+            fetch_.idx = e.idx + 1;
+            fetch_.halted = false;
+            if (fetchBlockedOnSeq_ == e.seq)
+                fetchBlockedOnSeq_ = RobEntry::kNoSeq;
+            break;
+        }
         FuncId actual = static_cast<FuncId>(e.srcVal[0]);
         btb_.update(e.pc, actual);
         mispredict = e.predTargetFunc != actual;
@@ -594,6 +678,7 @@ Pipeline::resolveControl(RobEntry &e)
         }
         if (eventsOn_)
             recordSpan(trace::Flag::Squash, e, now_, " (mispredict)");
+        fetchSb_ = nullptr; // front-end redirect: drop the block cursor
         fetchStallUntil_ = now_ + params_.mispredictPenalty;
         ctrMispredicts_.inc();
         switch (e.op->op) {
@@ -728,6 +813,7 @@ Pipeline::tryIssue(RobEntry &e)
                                    pendingStores_.end(), e.seq);
         assert(it != pendingStores_.end() && *it == e.seq);
         pendingStores_.erase(it);
+        ++memGen_;
     } else if (e.op->op == Op::IntAlu || e.op->op == Op::IntMul) {
         e.result = evalAlu(e);
         e.leakTaint = e.srcLeakTaint[0] | e.srcLeakTaint[1];
@@ -748,7 +834,7 @@ Pipeline::tryIssue(RobEntry &e)
         e.doneCycle = std::max(
             e.doneCycle, e.dispatchCycle + params_.branchResolveDepth);
     }
-    eventQ_.emplace(e.doneCycle, e.seq);
+    eventQ_.emplace(e.doneCycle, e.seq, &e);
     return true;
 }
 
@@ -764,17 +850,15 @@ Pipeline::doExecute()
     // squashed (lookup fails) are dropped; after a mispredict squash,
     // the remaining due events are exactly the squashed younger
     // entries the rescan would no longer find.
-    while (!eventQ_.empty() && eventQ_.top().first <= now_) {
-        std::uint64_t seq = eventQ_.top().second;
-        eventQ_.pop();
-        RobEntry *e = findBySeq(seq);
-        if (!e || e->state != EState::Executing)
-            continue; // squashed since issue
+    eventQ_.drainUpTo(now_, [this](const EventRing::Ev &ev) {
+        RobEntry *e = ev.entry;
+        if (e->seq != ev.seq || e->state != EState::Executing)
+            return; // squashed since issue (slot maybe recycled)
         e->state = EState::Done;
         onComplete(*e);
         if (e->isControl && !e->resolved)
             resolveControl(*e);
-    }
+    });
 
     // The Visibility Point horizon for this cycle's issue decisions:
     // oldest still-unresolved control op. Lazy cursor, not a scan.
@@ -806,6 +890,14 @@ Pipeline::doExecute()
                 readyQ_[keep++] = readyQ_[i];
                 continue;
             }
+            if (e.memGen == memGen_) {
+                // Still behind the same fence/store front. The front
+                // checks precede every other issue consideration and
+                // a failed front attempt has no side effects, so the
+                // retry is pure: same fronts, same false result.
+                readyQ_[keep++] = readyQ_[i];
+                continue;
+            }
             if (tryIssue(e)) {
                 ++issues;
                 continue;
@@ -828,36 +920,61 @@ Pipeline::doFetch()
 
     SpeculationPolicy *pol = policy_ ? policy_ : &unsafe_;
     unsigned n = 0;
+    // Quiescent point: hand the straight-line run to the fast-forward
+    // replica (pipeline_ff.cc). It returns having consumed part of
+    // this cycle's fetch width; the loop below dispatches the
+    // region's terminator through the detailed path.
+    // The armed leakage ledger does not disengage regions: a region
+    // is non-speculative by construction, so its loads are never
+    // classified (classification requires speculation) and carry no
+    // taint (transmission requires a tainted address) — the ledger
+    // observes exactly nothing on either path (DESIGN §5.5).
+    if (ffMode_ && rob_.empty() && scheduled_.empty() &&
+        pol->allowFastForward())
+        n = fastForwardRegion();
     while (n < params_.width && rob_.size() < params_.robSize) {
-        // Pre-resolved micro-op stream: the function descriptor (and
-        // with it the op array and PC base) is re-resolved only when
-        // the front end redirects, not per fetched micro-op.
-        if (fetch_.func != fetchFuncCached_) {
-            fetchFuncCached_ = fetch_.func;
-            fetchFuncPtr_ = &prog_.func(fetch_.func);
+        // Predecoded superblock stream: the function descriptor, op
+        // PCs, dispatch kinds and cache-line transitions are resolved
+        // once per straight-line run, not per fetched micro-op. The
+        // cursor survives width/capacity/stall breaks mid-block and
+        // is dropped on every front-end redirect.
+        if (!fetchSb_) {
+            if (fetch_.func != fetchFuncCached_) {
+                fetchFuncCached_ = fetch_.func;
+                fetchFuncPtr_ = &prog_.func(fetch_.func);
+            }
+            fetchSb_ = &sbCache_.at(fetch_.func, fetch_.idx);
+            fetchSbPos_ = 0;
         }
-        const Function &f = *fetchFuncPtr_;
-        assert(fetch_.idx < f.body.size() &&
+        const SbOp &d = fetchSb_->ops[fetchSbPos_];
+        assert(d.kind != kSbEnd &&
                "fetch ran off a function body; bodies must end in ret");
-        const MicroOp &op = f.body[fetch_.idx];
+        const Function &f = *fetchFuncPtr_;
+        const MicroOp &op = *d.op;
 
         if (op.op == Op::Load && inflightLoads_ >= params_.lqSize)
             break;
         if (op.op == Op::Store && inflightStores_ >= params_.sqSize)
             break;
 
-        Addr pc = f.instAddr(fetch_.idx);
-        Addr line = pc / 64;
-        if (line != lastFetchLine_) {
-            lastFetchLine_ = line;
-            Cycle lat = caches_.accessInst(pc, &stats_);
-            if (lat > caches_.l1i().params().hit_latency) {
-                fetchStallUntil_ = now_ + lat;
-                break;
+        Addr pc = d.pc;
+        // Ops past the first of a line were always preceded (same
+        // block) by an op on the same line, so only line transitions
+        // consult the I-cache.
+        if (d.newLine) {
+            Addr line = pc / 64;
+            if (line != lastFetchLine_) {
+                lastFetchLine_ = line;
+                Cycle lat = caches_.accessInst(pc, &stats_);
+                if (lat > caches_.l1i().params().hit_latency) {
+                    fetchStallUntil_ = now_ + lat;
+                    break;
+                }
             }
         }
 
-        RobEntry e;
+        // Recycled ring slot, filled in place — no move, no malloc.
+        RobEntry &e = rob_.pushSlot();
         e.seq = nextSeq_++;
         e.func = fetch_.func;
         e.idx = fetch_.idx;
@@ -1013,15 +1130,18 @@ Pipeline::doFetch()
             break;
         }
 
+        // Straight-line ops advance the cursor; any terminator
+        // (including a fence or an untaken-path branch) ends the
+        // block and the next iteration re-resolves from fetch_.
+        if (d.kind >= kSbBranch)
+            fetchSb_ = nullptr;
+        else
+            ++fetchSbPos_;
+
         if (op.op == Op::Load)
             ++inflightLoads_;
         else if (op.op == Op::Store)
             ++inflightStores_;
-
-        if (op.dst != kNoReg) {
-            renameMap_[op.dst] = e.seq;
-            renameValid_[op.dst] = true;
-        }
 
         if (trace::enabled(trace::Flag::Fetch)) {
             trace::log(trace::Flag::Fetch, now_,
@@ -1029,8 +1149,12 @@ Pipeline::doFetch()
                            std::to_string(e.idx) + "] " +
                            op.toString());
         }
-        rob_.push_back(std::move(e));
-        registerDispatch(rob_.back());
+        if (op.dst != kNoReg) {
+            renameMap_[op.dst] = e.seq;
+            renameProd_[op.dst] = &e;
+            renameValid_[op.dst] = true;
+        }
+        registerDispatch(e);
         ++n;
         ctrFetched_.inc();
         if (stop_fetch)
@@ -1087,6 +1211,10 @@ Pipeline::restore(const Snapshot &s)
     // rewind; firing them against restored state would be a use of a
     // dead world. The rewound experiment re-schedules its own.
     scheduled_.clear();
+    // Decoded superblocks derive from the immutable Program and stay
+    // valid; only the cursor (front-end position) is rewound.
+    fetchSb_ = nullptr;
+    fetchSbPos_ = 0;
 }
 
 void
@@ -1111,7 +1239,7 @@ Pipeline::run(FuncId entry)
     halted_ = false;
     rob_.clear();
     readyQ_.clear();
-    eventQ_ = {};
+    eventQ_.clear(now_ + 1); // first drain happens at now_ + 1
     storeQ_.clear();
     pendingStores_.clear();
     pendingFences_.clear();
@@ -1123,12 +1251,20 @@ Pipeline::run(FuncId entry)
     fetchBlockedOnSeq_ = RobEntry::kNoSeq;
     fetchStallUntil_ = 0;
     lastFetchLine_ = ~Addr{0};
+    fetchSb_ = nullptr;
+    fetchSbPos_ = 0;
     // Per-run latch: the structured event log is consulted once, not
     // per committed/squashed micro-op. Same for the leakage ledger's
     // armed state and the run's syscall entry point (attribution).
     eventsOn_ = trace::eventsEnabled();
     ledgerArmed_ = ledger_.armed();
     entryFunc_ = entry;
+    // Fast-forward engages only when nothing needs the per-cycle
+    // detailed path: no per-cycle sampling, no structured events, no
+    // text tracing. The policy is consulted again at each engagement
+    // (its answer can change as dynamic-update state drains).
+    ffMode_ = params_.fastForward && !params_.detailedTelemetry &&
+              !eventsOn_ && !trace::anyEnabled();
 
     Cycle start = now_;
     std::uint64_t start_inst = stats_.get("committed");
@@ -1143,11 +1279,25 @@ Pipeline::run(FuncId entry)
         doExecute();
         doFetch();
         sampleTelemetry();
+        if (ffMode_)
+            skipIdleCycles();
         if (now_ - start > params_.maxCycles) {
             throw std::runtime_error(
                 "Pipeline::run exceeded maxCycles; likely deadlock");
         }
     }
+
+    // Superblock-cache telemetry for the harness (bench_report's
+    // summary): published as deltas because the cache spans runs
+    // while the stats may be cleared between them. Harness-side
+    // counters, like ff.*: the two execution modes may legitimately
+    // disagree on them.
+    stats_.counter("sb.cache.hits")
+        .inc(sbCache_.hits() - sbHitsSeen_);
+    stats_.counter("sb.cache.misses")
+        .inc(sbCache_.misses() - sbMissesSeen_);
+    sbHitsSeen_ = sbCache_.hits();
+    sbMissesSeen_ = sbCache_.misses();
 
     RunResult r;
     r.cycles = now_ - start;

@@ -26,6 +26,7 @@
 #define PERSPECTIVE_SIM_PIPELINE_HH
 
 #include <array>
+#include <cassert>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -41,6 +42,7 @@
 #include "predictor.hh"
 #include "program.hh"
 #include "stats.hh"
+#include "superblock.hh"
 #include "tlb.hh"
 #include "trace.hh"
 #include "types.hh"
@@ -78,6 +80,16 @@ struct PipelineParams
      * additionally gated on a classifier being installed; simulated
      * cycle counts are identical either way. */
     bool leakLedger = true;
+    /** Fast-forward execution (DESIGN §5.5): at quiescent points the
+     * core executes gate-clear straight-line regions on a compact
+     * functional engine and skips provably-idle cycles, dropping back
+     * to full out-of-order simulation at the first control op, fence
+     * or gateable situation. Timing-exact by construction — every
+     * reported cycle, counter and histogram sample is bit-identical
+     * to the detailed path — but requires detailedTelemetry off and
+     * disengages whenever tracing or the active policy demands the
+     * detailed path. */
+    bool fastForward = false;
 };
 
 /** Outcome of one Pipeline::run invocation. */
@@ -173,7 +185,7 @@ class Pipeline
     }
     std::size_t pendingScheduled() const { return scheduled_.size(); }
 
-    /** Transient-leakage ledger (observation-only; DESIGN §5.5).
+    /** Transient-leakage ledger (observation-only; DESIGN §5.6).
      * Arm it with LeakLedger::setClassifier; the pipeline classifies
      * speculative loads and tracks taint only while armed. */
     LeakLedger &leakLedger() { return ledger_; }
@@ -275,6 +287,10 @@ class Pipeline
         // from the architectural file at dispatch).
         static constexpr std::uint64_t kNoSeq = ~0ull;
         std::array<std::uint64_t, 2> srcProd = {kNoSeq, kNoSeq};
+        /** Producer entries resolved at capture time (deque references
+         * are stable), consumed by registerDispatch in the same cycle
+         * so dispatch never searches the ROB by seq. */
+        std::array<RobEntry *, 2> srcProdPtr = {nullptr, nullptr};
         std::array<std::uint64_t, 2> srcVal = {0, 0};
         std::array<bool, 2> srcReady = {true, true};
         std::array<RegId, 2> srcReg = {kNoReg, kNoReg};
@@ -306,11 +322,30 @@ class Pipeline
         std::array<std::uint64_t, GateWake::kMaxGens> wakeGenSeen{};
         Counter *wakeTally = nullptr;
 
+        /** memGen_ snapshot from the last issue attempt that failed
+         * on the fence/store fronts; while it still matches, the
+         * retry is elided (its outcome could not have changed). */
+        std::uint64_t memGen = 0;
+
         /** Unready source-operand count; 0 = issue candidate. */
         std::uint8_t pendingSrcs = 0;
-        /** Consumers to wake when this entry completes:
-         * (consumer seq, operand slot). */
-        std::vector<std::pair<std::uint64_t, unsigned>> wakeup;
+        /** One registered consumer wakeup. Ring slots are permanent,
+         * so the pointer stays dereferenceable forever; `seq` is the
+         * consumer's seq at registration and doubles as the liveness
+         * check — a squashed consumer has its seq invalidated (see
+         * squashAfter) and a recycled slot carries a different seq,
+         * so `consumer->seq != seq` exactly replaces the old
+         * ROB-search miss. Committed consumers cannot appear here:
+         * an entry with a pending operand cannot complete, and its
+         * producer fires the edge the moment it does. */
+        struct WakeEdge
+        {
+            RobEntry *consumer;
+            std::uint64_t seq;
+            unsigned slot;
+        };
+        /** Consumers to wake when this entry completes. */
+        std::vector<WakeEdge> wakeup;
 
         // Memory ops.
         Addr effAddr = 0;
@@ -326,6 +361,103 @@ class Pipeline
         Rsb::Checkpoint rsbCkpt{0, 0};
         CowStack stackCkpt; ///< stack before this op's effect
         bool sawHalt = false; ///< return with an empty correct stack
+
+        /** Re-initialize a recycled ring slot for dispatch. Selective
+         * on purpose — a full `*this = RobEntry{}` re-writes ~400
+         * bytes per dispatched micro-op and dominated the fetch
+         * stage. Skipped fields are written before they can be read
+         * on every path:
+         *  - seq/func/idx/pc/op/kernel/isControl/dispatchCycle: set
+         *    by the dispatcher immediately after pushSlot();
+         *  - srcProd/srcProdPtr/srcVal/srcReady/srcReg/srcLeakTaint:
+         *    captureOperand covers both slots in every dispatch case
+         *    (and zeroes the leak taint on architectural reads);
+         *  - pendingSrcs: set by registerDispatch;
+         *  - issueCycle/doneCycle/blockedSince/result: set at issue
+         *    (blockedSince is only read under `counted`, reset here);
+         *  - histCkpt/rsbCkpt/predTargetFunc/predTargetIdx: set at
+         *    dispatch for exactly the control ops that resolve them;
+         *  - wakeEvery/wakeNumGens/wakeGen/wakeGenSeen/wakeRecheckAt/
+         *    wakeHorizonGen/wakeTally: set by captureGateWake, read
+         *    only while state == Blocked, and Blocked is entered
+         *    through captureGateWake.
+         * The fast-forward materializer whole-assigns its entries, so
+         * it is indifferent to what reset() leaves behind. */
+        void reset()
+        {
+            wakeup.clear();   // keeps its allocation
+            stackCkpt = {};   // unpin the checkpointed stack nodes
+            state = EState::Waiting;
+            resolved = false;
+            predictedTaken = false;
+            sawHalt = false;
+            counted = false;
+            invisible = false;
+            tainted = false;
+            taintCycle = 0;
+            memGen = 0;
+            leakTaint = 0;
+            leakSrcBit = LeakLedger::kNoSource;
+            effAddr = 0;
+            addrValid = false;
+        }
+    };
+
+    /** Fixed-capacity ROB ring. The deque it replaces allocated one
+     * chunk per entry (RobEntry is near the chunk threshold), i.e.
+     * one malloc/free per dispatched micro-op; the ring's slots are
+     * permanent, recycled in place, and their wakeup vectors keep
+     * their capacity across reuse. Slot addresses never change, so
+     * the pointer-stability contract renameProd_/srcProdPtr rely on
+     * carries over unchanged. */
+    class RobRing
+    {
+      public:
+        void init(std::size_t capacity)
+        {
+            std::size_t cap = 1;
+            while (cap < capacity)
+                cap <<= 1;
+            slots_.resize(cap);
+            mask_ = cap - 1;
+            head_ = 0;
+            count_ = 0;
+        }
+        bool empty() const { return count_ == 0; }
+        std::size_t size() const { return count_; }
+        RobEntry &front() { return slots_[head_ & mask_]; }
+        RobEntry &back()
+        {
+            return slots_[(head_ + count_ - 1) & mask_];
+        }
+        RobEntry &operator[](std::size_t i)
+        {
+            return slots_[(head_ + i) & mask_];
+        }
+        /** Append: recycle the tail slot in place and return it. */
+        RobEntry &pushSlot()
+        {
+            assert(count_ <= mask_ && "ROB ring overflow");
+            RobEntry &e = slots_[(head_ + count_) & mask_];
+            ++count_;
+            e.reset();
+            return e;
+        }
+        void pop_front()
+        {
+            ++head_;
+            --count_;
+        }
+        void pop_back() { --count_; }
+        void clear()
+        {
+            head_ = 0;
+            count_ = 0;
+        }
+
+      private:
+        std::vector<RobEntry> slots_;
+        std::size_t head_ = 0, mask_ = 0, count_ = 0;
     };
 
     // -- per-cycle stages ------------------------------------------------
@@ -360,6 +492,20 @@ class Pipeline
     void runScheduled();
     std::uint64_t evalAlu(const RobEntry &e) const;
     bool evalBranch(const RobEntry &e) const;
+
+    // -- fast-forward engine (pipeline_ff.cc) -----------------------------
+    /** Advance now_ past cycles where provably nothing can happen
+     * (empty ready queue, no due completion/scheduled event, stalled
+     * or blocked front end). Exact: skipped cycles perform no state
+     * change and sample no telemetry in fast-forward mode. */
+    void skipIdleCycles();
+    /** Quiescent-point region executor: runs gate-clear straight-line
+     * micro-ops on a compact replica of the commit/execute/fetch
+     * phases, then materializes the in-flight suffix back into the
+     * ROB at the first control op or fence. Called from doFetch when
+     * ffMode_ holds and the ROB is empty; returns the fetch width
+     * already consumed in the current cycle. */
+    unsigned fastForwardRegion();
 
     const Program &prog_;
     Memory &mem_;
@@ -414,10 +560,15 @@ class Pipeline
 
     std::array<std::uint64_t, kNumRegs> regs_{};
 
-    // ROB as a deque; seq of front entry tracked separately.
-    std::deque<RobEntry> rob_;
+    // ROB as a fixed-capacity ring (capacity = params_.robSize
+    // rounded up to a power of two, set once in the constructor).
+    RobRing rob_;
     std::uint64_t nextSeq_ = 0;
     std::array<std::uint64_t, kNumRegs> renameMap_{};
+    /** Producer entry per renamed register (valid iff renameValid_);
+     * deque references are stable until the entry commits or is
+     * squashed, and both paths repair the map. */
+    std::array<RobEntry *, kNumRegs> renameProd_{};
     std::array<bool, kNumRegs> renameValid_{};
 
     FetchState fetch_;
@@ -437,11 +588,83 @@ class Pipeline
      * wake source of every blocked load (VP release, `speculative`
      * flips, STT taint clears — all tied to horizon movement). */
     std::uint64_t horizonGen_ = 0;
+    /** Ticks whenever the fence/store fronts can recede: a store
+     * issues (leaves pendingStores_), a fence completes (leaves
+     * pendingFences_), or a squash chops either deque. A load that
+     * failed its front checks at generation g fails them at every
+     * retry until memGen_ != g, so those retries are elided. Starts
+     * at 1 so a fresh entry's memGen (0) never matches. */
+    std::uint64_t memGen_ = 1;
 
     // Fetch fast path: the current function's descriptor, resolved
     // once per front-end redirect instead of per micro-op.
     FuncId fetchFuncCached_ = kNoFunc;
     const Function *fetchFuncPtr_ = nullptr;
+
+    /** Predecoded superblocks for the front end (and the fast-forward
+     * engine): op pointers, PCs, line-transition flags and flat
+     * dispatch kinds, resolved once per straight-line run. */
+    SuperblockCache sbCache_;
+    /** Fetch cursor into the current superblock; null after any
+     * front-end redirect (taken branch, call, return, squash) and
+     * re-resolved from (fetch_.func, fetch_.idx) on demand. Survives
+     * width/capacity/stall breaks mid-block. */
+    const Superblock *fetchSb_ = nullptr;
+    std::size_t fetchSbPos_ = 0;
+    /** Cache hit/miss totals already published into stats_ (the
+     * cache accumulates for the pipeline's lifetime while stats may
+     * be cleared between runs, so run() publishes deltas). */
+    std::uint64_t sbHitsSeen_ = 0;
+    std::uint64_t sbMissesSeen_ = 0;
+
+    // Fast-forward engine state (see pipeline_ff.cc). Latched per run.
+    bool ffMode_ = false;
+    Counter ctrFfUops_;
+    Counter ctrFfEntries_;
+    Counter ctrFfCycles_;
+
+    /** One in-flight micro-op of a fast-forward region: the fields of
+     * RobEntry the replica phases actually exercise, flat and small.
+     * Region indices substitute for seqs (the region owns a dense seq
+     * range starting at its entry nextSeq_). */
+    struct FfEntry
+    {
+        const MicroOp *op = nullptr;
+        Addr pc = 0;
+        FuncId func = kNoFunc;
+        std::uint32_t idx = 0;
+        std::uint8_t kind = 0; ///< SbKind
+        std::uint8_t state = 0; ///< 0 wait, 1 exec, 2 done, 3 committed
+        std::uint8_t pendingSrcs = 0;
+        bool kernel = false;
+        bool addrValid = false;
+        std::array<RegId, 2> srcReg = {kNoReg, kNoReg};
+        std::array<bool, 2> srcReady = {true, true};
+        std::array<std::int32_t, 2> srcProd = {-1, -1};
+        std::array<std::uint64_t, 2> srcVal = {0, 0};
+        std::uint64_t result = 0;
+        Addr effAddr = 0;
+        Cycle dispatch = 0;
+        Cycle issue = 0;
+        Cycle done = 0;
+        std::int32_t wakeHead = -1; ///< into ffWake_, -1 = none
+    };
+    /** Wakeup-list node (intrusive list per producer, pooled). */
+    struct FfWake
+    {
+        std::uint32_t cons;
+        std::uint8_t slot;
+        std::int32_t next;
+    };
+    // Region scratch, reused across engagements (no allocation in
+    // steady state). Only valid inside fastForwardRegion().
+    std::vector<FfEntry> ffEnts_;
+    std::vector<std::uint32_t> ffReady_; ///< issue candidates, sorted
+    std::vector<std::pair<Cycle, std::uint32_t>> ffHeap_; ///< completions
+    std::vector<std::uint32_t> ffStores_; ///< dispatched, uncommitted
+    std::vector<std::uint32_t> ffPendSt_; ///< dispatched, unissued
+    std::vector<FfWake> ffWake_;
+    std::array<std::int32_t, kNumRegs> ffRegWriter_{};
 
     // -- incremental scheduling structures --------------------------------
     // All are keyed/sorted by seq; RobEntry pointers are stable (the
@@ -457,12 +680,107 @@ class Pipeline
      * cycles replicate the suppressed call's accounting exactly. */
     std::vector<std::pair<std::uint64_t, RobEntry *>> readyQ_;
 
-    /** Completion events (doneCycle, seq); min-heap. Squashed
-     * entries' events are dropped lazily when popped. */
-    std::priority_queue<std::pair<Cycle, std::uint64_t>,
-                        std::vector<std::pair<Cycle, std::uint64_t>>,
-                        std::greater<>>
-        eventQ_;
+    /** Completion calendar: a ring of per-cycle seq buckets plus a
+     * (practically unused) sorted overflow list for events beyond
+     * the ring span. Execution latencies are bounded far below the
+     * span, so push and drain are O(1) where the (cycle, seq)
+     * min-heap this replaces paid O(log n) per event. Drain order is
+     * the heap's exactly: cycles ascending, seqs ascending within a
+     * cycle. Squashed entries' events are dropped lazily on pop. */
+    class EventRing
+    {
+      public:
+        /** One completion event: the issued entry's seq (liveness
+         * check, same contract as RobEntry::WakeEdge) plus its
+         * permanent ring slot, so firing never searches the ROB. */
+        struct Ev
+        {
+            std::uint64_t seq;
+            RobEntry *entry;
+        };
+
+        bool empty() const { return size_ == 0; }
+        void emplace(Cycle c, std::uint64_t seq, RobEntry *entry)
+        {
+            assert(c >= base_ && "event scheduled in the past");
+            if (size_ == 0 || c < next_)
+                next_ = c;
+            ++size_;
+            if (c - base_ >= kSlots) {
+                auto it = std::lower_bound(
+                    overflow_.begin(), overflow_.end(), c,
+                    [](const auto &p, Cycle cc) {
+                        return p.first < cc;
+                    });
+                while (it != overflow_.end() && it->first == c &&
+                       it->second.seq < seq)
+                    ++it;
+                overflow_.insert(it, {c, {seq, entry}});
+                return;
+            }
+            auto &b = slots_[c & kMask];
+            b.push_back({seq, entry});
+            for (std::size_t j = b.size() - 1;
+                 j > 0 && b[j - 1].seq > b[j].seq; --j)
+                std::swap(b[j - 1], b[j]);
+        }
+        /** Earliest pending event cycle; only valid when !empty(). */
+        Cycle nextCycle()
+        {
+            if (next_ >= base_)
+                return next_; // still exact (emplace keeps the min)
+            Cycle c = base_;
+            while (slots_[c & kMask].empty() &&
+                   c - base_ < kSlots - 1)
+                ++c;
+            if (slots_[c & kMask].empty())
+                c = overflow_.front().first;
+            next_ = c;
+            return c;
+        }
+        /** Pop every event with cycle <= now, in (cycle, seq) order. */
+        template <class F> void drainUpTo(Cycle now, F &&f)
+        {
+            while (base_ <= now) {
+                auto &b = slots_[base_ & kMask];
+                for (const Ev &ev : b) {
+                    --size_;
+                    f(ev);
+                }
+                b.clear();
+                ++base_;
+                while (!overflow_.empty() &&
+                       overflow_.front().first - base_ < kSlots) {
+                    auto [c, ev] = overflow_.front();
+                    overflow_.erase(overflow_.begin());
+                    slots_[c & kMask].push_back(ev);
+                }
+            }
+            if (next_ < base_)
+                next_ = base_ - 1; // mark lazy: recompute on demand
+        }
+        /** Reset; the next drain starts at @p base (events are only
+         * ever scheduled for cycles > now). */
+        void clear(Cycle base)
+        {
+            for (auto &b : slots_)
+                b.clear();
+            overflow_.clear();
+            size_ = 0;
+            base_ = base;
+            next_ = 0;
+        }
+
+      private:
+        static constexpr std::size_t kSlots = 1024;
+        static constexpr std::size_t kMask = kSlots - 1;
+        std::array<std::vector<Ev>, kSlots> slots_{};
+        std::vector<std::pair<Cycle, Ev>> overflow_;
+        Cycle base_ = 0;  ///< oldest undrained cycle
+        Cycle next_ = 0;  ///< min pending cycle; < base_ means stale
+        std::size_t size_ = 0;
+    };
+    EventRing eventQ_;
 
     /** All in-flight stores (dispatch to commit), seq order. */
     std::deque<std::pair<std::uint64_t, RobEntry *>> storeQ_;
@@ -470,9 +788,10 @@ class Pipeline
     std::vector<std::uint64_t> pendingStores_;
     /** Seqs of fences that are not Done yet. */
     std::deque<std::uint64_t> pendingFences_;
-    /** Seqs of dispatched control ops; resolved/dead fronts are
-     * popped lazily by horizonSeq(). */
-    std::deque<std::uint64_t> unresolvedCtls_;
+    /** Dispatched control ops as (seq, permanent ring slot);
+     * resolved/dead fronts are popped lazily by horizonSeq(), which
+     * validates the slot by seq instead of searching the ROB. */
+    std::deque<std::pair<std::uint64_t, RobEntry *>> unresolvedCtls_;
 
     /** Mid-run kernel events (scheduleAt), fired by the run loop
      * once now_ reaches their cycle. Unsorted — the list is tiny

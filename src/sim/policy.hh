@@ -173,6 +173,16 @@ class SpeculationPolicy
      */
     virtual bool shadowStack() const { return false; }
 
+    /**
+     * May the core engage the fast-forward engine right now
+     * (PipelineParams::fastForward, DESIGN §5.5)? Fast-forwarded
+     * regions are non-speculative by construction and never reach
+     * gateLoad, so the default is yes; a policy holding state it
+     * wants re-examined on the detailed path (e.g. an open deferred-
+     * revocation window) answers no until that state drains.
+     */
+    virtual bool allowFastForward() const { return true; }
+
     /** Stats sink for fence-attribution counters. Virtual so schemes
      * can resolve cached Counter handles for their hot-path and
      * GateWake tally counters when the sink attaches. */

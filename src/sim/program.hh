@@ -81,6 +81,15 @@ class Program
     /** Highest kernel-text VA in use (exclusive), for sizing tables. */
     Addr kernelTextEnd() const { return kernelTextEnd_; }
 
+    /**
+     * Code generation: ticks on every layout() (the only operation
+     * that moves or rewrites text once simulation starts never runs
+     * mid-simulation; module load/unload flips *data* reachability
+     * only). Predecoded-superblock caches record this and drop their
+     * contents whenever it moves — see sim/superblock.hh.
+     */
+    std::uint64_t codeGen() const { return codeGen_; }
+
   private:
     std::vector<Function> funcs_;
     std::unordered_map<std::string, FuncId> byName_;
@@ -96,6 +105,7 @@ class Program
     std::vector<std::uint32_t> kernelPageIdx_;
 
     Addr kernelTextEnd_ = kKernelTextBase;
+    std::uint64_t codeGen_ = 1;
     bool laidOut_ = false;
 };
 

@@ -1,0 +1,91 @@
+#include "superblock.hh"
+
+namespace perspective::sim
+{
+
+std::uint8_t
+sbKindOf(const MicroOp &op)
+{
+    switch (op.op) {
+      case Op::Nop:
+        return kSbNop;
+      case Op::IntAlu:
+        switch (op.alu) {
+          case AluOp::Add: return kSbAluAdd;
+          case AluOp::Sub: return kSbAluSub;
+          case AluOp::And: return kSbAluAnd;
+          case AluOp::Shl: return kSbAluShl;
+          case AluOp::Shr: return kSbAluShr;
+          case AluOp::MovI: return kSbAluMovI;
+          case AluOp::Mov: return kSbAluMov;
+        }
+        return kSbAluAdd;
+      case Op::IntMul: return kSbMul;
+      case Op::Load: return kSbLoad;
+      case Op::Store: return kSbStore;
+      case Op::Branch: return kSbBranch;
+      case Op::Jump: return kSbJump;
+      case Op::Call: return kSbCall;
+      case Op::IndirectCall: return kSbIndirectCall;
+      case Op::Return: return kSbReturn;
+      case Op::Fence: return kSbFence;
+    }
+    return kSbNop;
+}
+
+namespace
+{
+
+bool
+endsBlock(std::uint8_t kind)
+{
+    switch (kind) {
+      case kSbBranch:
+      case kSbJump:
+      case kSbCall:
+      case kSbIndirectCall:
+      case kSbReturn:
+      case kSbFence:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+Superblock
+SuperblockCache::build(FuncId func, std::uint32_t idx) const
+{
+    const Function &f = prog_->func(func);
+    Superblock sb;
+    Addr prevLine = ~Addr{0};
+    for (std::uint32_t i = idx; i < f.body.size(); ++i) {
+        const MicroOp &op = f.body[i];
+        SbOp d;
+        d.op = &op;
+        d.pc = f.instAddr(i);
+        d.kind = sbKindOf(op);
+        Addr line = d.pc / 64;
+        d.newLine = line != prevLine;
+        prevLine = line;
+        sb.ops.push_back(d);
+        if (endsBlock(d.kind)) {
+            sb.endKind = d.kind;
+            return sb;
+        }
+    }
+    // Ran off the end of the body (also covers a start index at or
+    // past the end): terminate with the sentinel so consumers always
+    // dispatch on a final op instead of bounds-checking.
+    SbOp sentinel;
+    sentinel.op = nullptr;
+    sentinel.pc = f.instAddr(static_cast<std::uint32_t>(f.body.size()));
+    sentinel.kind = kSbEnd;
+    sentinel.newLine = true;
+    sb.ops.push_back(sentinel);
+    sb.endKind = kSbEnd;
+    return sb;
+}
+
+} // namespace perspective::sim

@@ -77,6 +77,12 @@ enabled(Flag f)
             static_cast<std::uint32_t>(f)) != 0;
 }
 
+bool
+anyEnabled()
+{
+    return g_flags.load(std::memory_order_relaxed) != 0;
+}
+
 unsigned
 enableFromString(const std::string &spec)
 {

@@ -36,7 +36,7 @@ enum class Flag : std::uint32_t
     Squash = 1u << 2,  ///< mispredictions and their redirects
     Fence = 1u << 3,   ///< policy-blocked transmitters
     Predict = 1u << 4, ///< BTB/RSB/conditional predictions
-    Leak = 1u << 5,    ///< transient-leakage transmissions (DESIGN §5.5)
+    Leak = 1u << 5,    ///< transient-leakage transmissions (DESIGN §5.6)
     Window = 1u << 6,  ///< dynamic-update (revocation/flip) windows
 };
 
@@ -58,6 +58,10 @@ void reset();
 
 /** True when @p f is enabled (the fast-path check). */
 bool enabled(Flag f);
+
+/** True when any text-trace category is enabled (used to disengage
+ * whole-region fast paths that would skip per-op log sites). */
+bool anyEnabled();
 
 /**
  * Parse a comma-separated flag list ("commit,squash"); unknown names

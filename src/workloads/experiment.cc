@@ -1,6 +1,7 @@
 #include "experiment.hh"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "kernel/process.hh"
 
@@ -59,8 +60,15 @@ isPerspective(Scheme s)
 
 } // namespace
 
+bool
+Experiment::fastForwardDefault()
+{
+    const char *env = std::getenv("PERSPECTIVE_FASTFWD");
+    return env && env[0] == '1' && env[1] == '\0';
+}
+
 Experiment::Experiment(const WorkloadProfile &profile, Scheme scheme,
-                       std::uint64_t seed)
+                       std::uint64_t seed, bool fastForward)
     : profile_(profile), scheme_(scheme)
 {
     // The booted image (built once per seed per process when snapshot
@@ -91,7 +99,16 @@ Experiment::Experiment(const WorkloadProfile &profile, Scheme scheme,
                    kernel::KernelImage::kSecretCtxOff,
                0x5e);
 
-    cpu_ = std::make_unique<sim::Pipeline>(img_->program(), mem_);
+    sim::PipelineParams pp;
+    if (fastForward) {
+        // Fast-forward mode: timing-exact sprint execution; the
+        // per-cycle distribution sampling is what it gives up.
+        pp.fastForward = true;
+        pp.detailedTelemetry = false;
+    }
+    cpu_ = std::make_unique<sim::Pipeline>(img_->program(), mem_, pp);
+    interp_ = std::make_unique<kernel::Interpreter>(img_->program(),
+                                                    mem_);
 
     // Scheme wiring.
     switch (scheme_) {
@@ -144,7 +161,7 @@ Experiment::Experiment(const WorkloadProfile &profile, Scheme scheme,
 
     cpu_->setPolicy(policy_);
 
-    // Transient-leakage ground truth (DESIGN §5.5), armed for every
+    // Transient-leakage ground truth (DESIGN §5.6), armed for every
     // scheme: a speculative kernel load is "secret" when a correct,
     // fully-synchronized policy would have blocked it — its function
     // is outside the context's ISV (when the scheme builds one), or
@@ -210,7 +227,8 @@ Experiment::buildIsv()
     auto observe = [&](FuncId f) { builder.observe(f); };
     for (const auto &inv : processStartupTrace()) {
         auto prep = exec_->prepare(mainPid_, inv);
-        kernel::Interpreter in(img_->program(), mem_);
+        kernel::Interpreter &in = *interp_;
+        in.reset();
         for (auto [r, v] : prep.regs)
             in.setReg(r, v);
         in.run(img_->entryOf(inv.sys), 2'000'000, observe);
@@ -251,7 +269,8 @@ Experiment::traceRequest(
 {
     for (const auto &inv : profile_.request) {
         auto prep = exec_->prepare(mainPid_, inv);
-        kernel::Interpreter in(img_->program(), mem_);
+        kernel::Interpreter &in = *interp_;
+        in.reset();
         for (auto [r, v] : prep.regs)
             in.setReg(r, v);
         in.setReg(dreg::kPadIters, 0);

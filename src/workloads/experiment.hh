@@ -63,7 +63,7 @@ struct RunResult
     double dsvCacheHitRate = 0;
     sim::StatSet stats;
     /** Transient-leakage accounting for the measured iterations
-     * (observation-only; see sim/leakage.hh and DESIGN §5.5). */
+     * (observation-only; see sim/leakage.hh and DESIGN §5.6). */
     sim::LeakageSummary leakage;
 
     double
@@ -80,8 +80,21 @@ struct RunResult
 class Experiment
 {
   public:
+    /**
+     * @p fastForward selects the pipeline's fast-forward execution
+     * mode (timing-exact; see PipelineParams::fastForward). The
+     * default follows the PERSPECTIVE_FASTFWD environment variable
+     * ("1" enables), so whole suites can be flipped without code
+     * changes; benches pass it explicitly to run both modes in one
+     * process. Fast-forward cells trade the per-cycle telemetry
+     * (detailedTelemetry) for throughput.
+     */
     Experiment(const WorkloadProfile &profile, Scheme scheme,
-               std::uint64_t seed = 42);
+               std::uint64_t seed = 42,
+               bool fastForward = fastForwardDefault());
+
+    /** True when PERSPECTIVE_FASTFWD=1 is set in the environment. */
+    static bool fastForwardDefault();
 
     /** Run @p iterations measured request iterations (after
      * @p warmup unmeasured ones) and report the aggregate. */
@@ -158,6 +171,10 @@ class Experiment
     std::unique_ptr<kernel::KernelState> ks_;
     std::unique_ptr<kernel::SyscallExecutor> exec_;
     std::unique_ptr<sim::Pipeline> cpu_;
+    /** Long-lived tracing interpreter: reset() per invocation, so its
+     * predecoded superblocks and call stack persist across the whole
+     * ISV build instead of being rebuilt per syscall. */
+    std::unique_ptr<kernel::Interpreter> interp_;
 
     kernel::Pid mainPid_ = 0;
     kernel::Pid victimPid_ = 0; ///< co-tenant with secrets

@@ -2,7 +2,7 @@
  * @file
  * LeakLedger unit tests: source-slot allocation and overflow
  * refcounting, per-source byte dedupe, window attribution, gadget
- * aggregation, and snapshot/restore rewind (DESIGN §5.5).
+ * aggregation, and snapshot/restore rewind (DESIGN §5.6).
  */
 
 #include <gtest/gtest.h>

@@ -1,6 +1,6 @@
 /**
  * @file
- * Transient-leakage ledger, end to end (DESIGN §5.5):
+ * Transient-leakage ledger, end to end (DESIGN §5.6):
  *
  *  - observational equivalence: enabling the ledger changes no
  *    simulated outcome, under any scheme — same cycles, same
