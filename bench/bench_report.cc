@@ -32,6 +32,7 @@
  */
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -78,6 +79,29 @@ struct SweepFile
     std::uint64_t fallbackKeys = 0; ///< cells without provenance
     std::vector<Cell> cells;
 
+    /**
+     * Config-hash → cell index, built lazily on first use: summaries
+     * never need it, and a baseline compared against several inputs
+     * pays the build exactly once instead of once per compare().
+     */
+    const std::map<std::string, const Cell *> &
+    byKey() const
+    {
+        if (byKey_.empty() && !cells.empty())
+            for (const Cell &c : cells)
+                byKey_[c.key] = &c;
+        return byKey_;
+    }
+
+    // Fleet-mode schedule block (schema: schedule.fleet), zero when
+    // the sweep ran single-process.
+    bool fleet = false;
+    std::uint64_t fleetWorkers = 0;
+    std::uint64_t fleetSteals = 0;
+    std::uint64_t fleetResent = 0;
+    double makespan = 0;          ///< schedule.makespan
+    double staticShardEst = 0;    ///< est. static 1/N-shard makespan
+
     // Fast-path telemetry summed over every cell's stats block
     // (zero when the file predates the counters).
     std::uint64_t gateChecks = 0;   ///< gate verdicts computed
@@ -113,6 +137,9 @@ struct SweepFile
     // Structured event-log health (doc-level "trace" block).
     std::uint64_t traceDropped = 0;
     std::vector<std::uint64_t> traceDroppedByLane;
+
+  private:
+    mutable std::map<std::string, const Cell *> byKey_;
 };
 
 std::uint64_t
@@ -123,8 +150,19 @@ uintOr0(const Json &obj, const char *field)
                : 0;
 }
 
+/**
+ * Load a sweep document. With @p skipHeavy (set under --check, which
+ * only compares the deterministic counters) the bulk per-cell
+ * sub-objects — histograms and time series — are syntax-checked but
+ * never materialized, so a large baseline parses without allocating
+ * for payloads the comparison never reads. The dependent telemetry
+ * (transient-gap percentiles) is simply absent from the summary in
+ * that mode; every reader already guards on presence. @p verbose
+ * prints the parse cost to pin the win.
+ */
 SweepFile
-loadSweep(const std::string &path)
+loadSweep(const std::string &path, bool skipHeavy = false,
+          bool verbose = false)
 {
     std::ifstream is(path);
     if (!is) {
@@ -134,7 +172,25 @@ loadSweep(const std::string &path)
     }
     std::ostringstream buf;
     buf << is.rdbuf();
-    Json doc = Json::parse(buf.str());
+    const std::string &text = buf.str();
+    auto t0 = std::chrono::steady_clock::now();
+    Json doc;
+    if (skipHeavy) {
+        Json::ParseOptions opts;
+        opts.skipObjectKeys = {"histograms", "timeseries"};
+        doc = Json::parse(text, opts);
+    } else {
+        doc = Json::parse(text);
+    }
+    if (verbose) {
+        double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+        std::printf("parse %s: %zu bytes in %.1f ms%s\n",
+                    path.c_str(), text.size(), ms,
+                    skipHeavy ? " (histograms/timeseries skipped)"
+                              : "");
+    }
 
     SweepFile f;
     f.path = path;
@@ -144,6 +200,21 @@ loadSweep(const std::string &path)
         f.git = doc.at("git").asString();
     if (doc.contains("wall_seconds"))
         f.wallSeconds = doc.at("wall_seconds").asDouble();
+    if (doc.contains("schedule")) {
+        const Json &sj = doc.at("schedule");
+        if (sj.contains("makespan"))
+            f.makespan = sj.at("makespan").asDouble();
+        if (sj.contains("fleet")) {
+            const Json &fl = sj.at("fleet");
+            f.fleet = true;
+            f.fleetWorkers = uintOr0(fl, "workers");
+            f.fleetSteals = uintOr0(fl, "steals");
+            f.fleetResent = uintOr0(fl, "stragglers_resent");
+            if (fl.contains("static_shard_makespan_est"))
+                f.staticShardEst =
+                    fl.at("static_shard_makespan_est").asDouble();
+        }
+    }
 
     // Duplicate configurations (the same cell run twice in one grid)
     // disambiguate by occurrence index, preserving grid order.
@@ -376,6 +447,22 @@ summarize(const SweepFile &f)
                         ? f.gapP99W / static_cast<double>(f.gapSamples)
                         : 0.0,
                     static_cast<unsigned long long>(f.staleAllows));
+    if (f.fleet) {
+        // The speedup column is measured fleet makespan against the
+        // estimated static 1/N sharding of the same cells — the
+        // work-stealing win, not a comparison across files.
+        char ratio[16] = "-";
+        if (f.makespan > 0 && f.staticShardEst > 0)
+            std::snprintf(ratio, sizeof ratio, "%.2fx",
+                          f.staticShardEst / f.makespan);
+        std::printf("  fleet: %llu worker(s), %llu steal(s), %llu "
+                    "straggler cell(s) resent; makespan %.2fs vs "
+                    "static-shard est %.2fs (%s)\n",
+                    static_cast<unsigned long long>(f.fleetWorkers),
+                    static_cast<unsigned long long>(f.fleetSteals),
+                    static_cast<unsigned long long>(f.fleetResent),
+                    f.makespan, f.staticShardEst, ratio);
+    }
     if (f.secretLoads > 0 || f.leakBytes > 0)
         std::printf("  leakage: %llu secret loads (%llu bytes at "
                     "risk), %llu transmissions, %llu bytes "
@@ -414,9 +501,7 @@ delta(std::uint64_t now, std::uint64_t base)
 unsigned
 compare(const SweepFile &now, const SweepFile &base, bool verbose)
 {
-    std::map<std::string, const Cell *> baseByKey;
-    for (const Cell &c : base.cells)
-        baseByKey[c.key] = &c;
+    const auto &baseByKey = base.byKey();
 
     unsigned diffs = 0, unmatched = 0;
     std::printf("\n%-14s %-20s %14s %14s %10s %8s %8s\n", "workload",
@@ -566,7 +651,8 @@ usage(int code)
         "  --strict           exit 1 if any input matches cells by\n"
         "                     the provenance-less workload|scheme\n"
         "                     fallback key\n"
-        "  --verbose          list identical cells too\n"
+        "  --verbose          list identical cells too, and print\n"
+        "                     per-file parse timing\n"
         "  --perf-baseline F  exit 1 if any input's aggregate MIPS\n"
         "                     falls below R x F's (timing gate)\n"
         "  --perf-threshold R minimum allowed MIPS ratio "
@@ -673,10 +759,13 @@ main(int argc, char **argv)
         return 2;
     }
 
+    // --check only compares the deterministic counters, so the bulk
+    // histogram/timeseries payloads need not be materialized.
+    bool skipHeavy = check;
     std::vector<SweepFile> files;
     files.reserve(inputs.size());
     for (const std::string &path : inputs)
-        files.push_back(loadSweep(path));
+        files.push_back(loadSweep(path, skipHeavy, verbose));
 
     unsigned total_diffs = 0;
     std::uint64_t fallbacks = 0;
@@ -686,7 +775,7 @@ main(int argc, char **argv)
     }
 
     if (!baselinePath.empty()) {
-        SweepFile base = loadSweep(baselinePath);
+        SweepFile base = loadSweep(baselinePath, skipHeavy, verbose);
         fallbacks += base.fallbackKeys;
         std::printf("\nbaseline: ");
         summarize(base);

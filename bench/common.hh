@@ -42,11 +42,18 @@ banner(const std::string &title)
  * UNSAFE cell of its stride), but a `--shard K/N` run executes only
  * its own cells — the others are zeroed placeholders — so tables are
  * meaningless until `bench_report --merge` recombines the shard
- * JSONs. Prints a note and returns false on shard runs.
+ * JSONs; a fleet *worker* (`--connect`) likewise holds only the
+ * cells it happened to serve (the coordinator renders the full
+ * grid). Prints a note and returns false for both.
  */
 inline bool
 renderTables(const harness::SweepRunner &sweep)
 {
+    if (sweep.isFleetWorker()) {
+        std::printf("[fleet worker: tables skipped — the "
+                    "coordinator renders the full grid]\n");
+        return false;
+    }
     if (!sweep.sharded())
         return true;
     std::printf("[shard %u/%u: tables skipped — recombine the "

@@ -68,10 +68,26 @@ CellCache::cellPath(const std::string &configHash) const
 }
 
 std::string
-CellCache::costPath(const std::string &configHash) const
+CellCache::costPath(const std::string &costKey) const
 {
-    return (fs::path(dir_) / "costs" / configHash).string();
+    return (fs::path(dir_) / "costs" / costKey).string();
 }
+
+namespace
+{
+
+/** Cost-table key: the config hash plus an explicit execution-mode
+ * suffix. The mode is also mixed into the config hash itself, but
+ * the suffix keeps the cost files self-describing and guards the
+ * timing estimates if the hash recipe ever stops covering the mode
+ * (costs are epoch-independent, so they outlive hash changes). */
+std::string
+costKeyOf(const std::string &configHash, bool fastForward)
+{
+    return fastForward ? configHash + "-ff" : configHash;
+}
+
+} // namespace
 
 std::optional<Json>
 CellCache::load(const std::string &configHash)
@@ -148,37 +164,40 @@ CellCache::store(const std::string &configHash, const Json &cell)
 }
 
 std::optional<double>
-CellCache::loadCost(const std::string &configHash)
+CellCache::loadCost(const std::string &configHash, bool fastForward)
 {
+    const std::string key = costKeyOf(configHash, fastForward);
     {
         std::lock_guard<std::mutex> lk(mu_);
-        auto it = memCosts_.find(configHash);
+        auto it = memCosts_.find(key);
         if (it != memCosts_.end())
             return it->second;
     }
     if (!persistent())
         return std::nullopt;
-    std::ifstream is(costPath(configHash));
+    std::ifstream is(costPath(key));
     double secs = 0;
     if (!(is >> secs) || secs < 0)
         return std::nullopt;
     std::lock_guard<std::mutex> lk(mu_);
-    memCosts_.emplace(configHash, secs);
+    memCosts_.emplace(key, secs);
     return secs;
 }
 
 void
-CellCache::storeCost(const std::string &configHash, double seconds)
+CellCache::storeCost(const std::string &configHash, bool fastForward,
+                     double seconds)
 {
+    const std::string key = costKeyOf(configHash, fastForward);
     {
         std::lock_guard<std::mutex> lk(mu_);
-        memCosts_[configHash] = seconds;
+        memCosts_[key] = seconds;
     }
     if (!persistent())
         return;
     char buf[64];
     std::snprintf(buf, sizeof buf, "%.9g\n", seconds);
-    atomicWrite(costPath(configHash), buf);
+    atomicWrite(costPath(key), buf);
 }
 
 CellCache::Stats

@@ -27,9 +27,12 @@
  * Cost table: alongside results the cache records each cell's wall
  * seconds (epoch-independent — timing estimates stay useful across
  * result-epoch bumps). The sweep scheduler uses these to submit
- * longest-first. With no cache directory the cache still keeps an
- * in-memory cost table so later run() batches in the same process
- * schedule cost-aware.
+ * longest-first. Costs are keyed by (config hash, execution mode):
+ * fast-forward runs the same cell ~3x faster than detailed (PR 8),
+ * so a mode-blind estimate recorded under one mode is ~3x stale when
+ * the cell is next scheduled under the other. With no cache
+ * directory the cache still keeps an in-memory cost table so later
+ * run() batches in the same process schedule cost-aware.
  */
 
 #ifndef PERSPECTIVE_HARNESS_CELLCACHE_HH
@@ -102,19 +105,23 @@ class CellCache
      */
     bool store(const std::string &configHash, const Json &cell);
 
-    /** Last recorded wall seconds for @p configHash: the in-memory
-     * table first, then the on-disk cost table. */
-    std::optional<double> loadCost(const std::string &configHash);
+    /** Last recorded wall seconds for @p configHash executed with
+     * @p fastForward: the in-memory table first, then the on-disk
+     * cost table. */
+    std::optional<double> loadCost(const std::string &configHash,
+                                   bool fastForward);
 
-    /** Record @p seconds for @p configHash (always in memory; also
-     * on disk when persistent). */
-    void storeCost(const std::string &configHash, double seconds);
+    /** Record @p seconds for @p configHash executed with
+     * @p fastForward (always in memory; also on disk when
+     * persistent). */
+    void storeCost(const std::string &configHash, bool fastForward,
+                   double seconds);
 
     Stats stats() const;
 
   private:
     std::string cellPath(const std::string &configHash) const;
-    std::string costPath(const std::string &configHash) const;
+    std::string costPath(const std::string &costKey) const;
     bool atomicWrite(const std::string &path,
                      const std::string &contents);
 

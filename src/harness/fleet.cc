@@ -1,0 +1,542 @@
+#include "fleet.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <unordered_map>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "cellcache.hh"
+#include "proto.hh"
+
+namespace perspective::harness
+{
+
+namespace
+{
+
+void
+setCloexec(int fd)
+{
+    int flags = ::fcntl(fd, F_GETFD);
+    if (flags >= 0)
+        ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
+}
+
+Json
+u64(std::uint64_t v)
+{
+    return Json(v);
+}
+
+std::string
+strField(const Json &msg, const char *key)
+{
+    if (msg.isObject() && msg.contains(key) && msg.at(key).isString())
+        return msg.at(key).asString();
+    return {};
+}
+
+std::uint64_t
+uintField(const Json &msg, const char *key)
+{
+    if (msg.isObject() && msg.contains(key) && msg.at(key).isNumber())
+        return msg.at(key).asUint();
+    return 0;
+}
+
+} // namespace
+
+// --------------------------------------------------------------------
+// FleetCoordinator
+
+FleetCoordinator::FleetCoordinator(Options opts) : opts_(std::move(opts))
+{
+    path_ = opts_.socketPath;
+    if (path_.empty())
+        path_ = "/tmp/perspective-fleet-" +
+                std::to_string(static_cast<long>(::getpid())) + ".sock";
+    std::string err;
+    listenFd_ = proto::listenUnix(path_, &err);
+    if (listenFd_ < 0)
+        throw std::runtime_error("fleet: " + err);
+    setCloexec(listenFd_);
+    fingerprint_ = codeFingerprint();
+}
+
+FleetCoordinator::~FleetCoordinator()
+{
+    for (Conn &c : conns_)
+        if (c.fd >= 0)
+            ::close(c.fd);
+    conns_.clear();
+    if (listenFd_ >= 0)
+        ::close(listenFd_);
+    ::unlink(path_.c_str());
+    // Workers exit once the socket closes (EOF on their next read);
+    // give them a moment, then force the stragglers.
+    for (int pass = 0; pass < 200 && childrenLive_ > 0; ++pass) {
+        reapChildren();
+        if (childrenLive_ > 0)
+            ::usleep(10 * 1000);
+    }
+    for (pid_t pid : children_)
+        if (pid > 0) {
+            ::kill(pid, SIGKILL);
+            ::waitpid(pid, nullptr, 0);
+        }
+}
+
+void
+FleetCoordinator::spawnWorkers()
+{
+    spawned_ = true;
+    if (opts_.workerArgv.empty())
+        return; // tests attach external (forked) workers instead
+    for (unsigned w = 0; w < opts_.spawnWorkers; ++w) {
+        pid_t pid = ::fork();
+        if (pid < 0)
+            throw std::runtime_error(
+                std::string("fleet: fork: ") + std::strerror(errno));
+        if (pid == 0) {
+            // Worker stdout would interleave with the coordinator's
+            // tables; progress/errors still reach stderr.
+            int devnull = ::open("/dev/null", O_WRONLY);
+            if (devnull >= 0) {
+                ::dup2(devnull, STDOUT_FILENO);
+                ::close(devnull);
+            }
+            std::vector<std::string> args = opts_.workerArgv;
+            args.push_back("--connect");
+            args.push_back(path_);
+            std::vector<char *> argv;
+            argv.reserve(args.size() + 1);
+            for (std::string &a : args)
+                argv.push_back(a.data());
+            argv.push_back(nullptr);
+            ::execv(argv[0], argv.data());
+            std::fprintf(stderr, "fleet worker: exec %s: %s\n",
+                         argv[0], std::strerror(errno));
+            ::_exit(127);
+        }
+        children_.push_back(pid);
+        ++childrenLive_;
+    }
+    if (opts_.verbose)
+        std::fprintf(stderr, "[fleet] spawned %zu workers on %s\n",
+                     children_.size(), path_.c_str());
+}
+
+void
+FleetCoordinator::reapChildren()
+{
+    for (pid_t &pid : children_) {
+        if (pid <= 0)
+            continue;
+        if (::waitpid(pid, nullptr, WNOHANG) == pid) {
+            pid = -1;
+            --childrenLive_;
+        }
+    }
+}
+
+void
+FleetCoordinator::dropConn(std::size_t i, std::deque<std::size_t> &queue)
+{
+    Conn &c = conns_[i];
+    if (c.assigned >= 0) {
+        // Died mid-cell: put the cell back at the head (it is likely
+        // a long one — the queue is longest-first) for the next idle
+        // worker. Correctness is untouched; only throughput degrades.
+        queue.push_front(static_cast<std::size_t>(c.assigned));
+        ++stats_.stragglersResent;
+        if (opts_.verbose)
+            std::fprintf(stderr,
+                         "[fleet] worker %d died mid-cell; cell %ld "
+                         "re-queued\n",
+                         c.id, c.assigned);
+    }
+    if (c.fd >= 0)
+        ::close(c.fd);
+    conns_.erase(conns_.begin() + static_cast<long>(i));
+}
+
+void
+FleetCoordinator::runBatch(std::uint64_t batch,
+                           const std::string &gridHash,
+                           const std::vector<std::size_t> &queue,
+                           const std::vector<double> &costs,
+                           const ResultFn &onResult)
+{
+    std::deque<std::size_t> work(queue.begin(), queue.end());
+    const std::size_t total = work.size();
+    std::size_t completed = 0;
+
+    if (total > 0 && !spawned_ && opts_.spawnWorkers > 0)
+        spawnWorkers();
+
+    // Static longest-processing-time plan over the planned lane
+    // count: the assignment a static scheduler would have made.
+    // Every dispatch that lands elsewhere is counted as a steal.
+    const unsigned planLanes = std::max<unsigned>(
+        1, opts_.spawnWorkers > 0
+               ? opts_.spawnWorkers
+               : static_cast<unsigned>(std::max<std::size_t>(
+                     1, conns_.size())));
+    std::unordered_map<std::size_t, unsigned> plannedLane;
+    {
+        std::vector<double> laneLoad(planLanes, 0.0);
+        for (std::size_t q = 0; q < queue.size(); ++q) {
+            unsigned best = 0;
+            for (unsigned l = 1; l < planLanes; ++l)
+                if (laneLoad[l] < laneLoad[best])
+                    best = l;
+            plannedLane[queue[q]] = best;
+            laneLoad[best] += q < costs.size() ? costs[q] : 1.0;
+        }
+    }
+
+    auto ensureWorkerSlot = [&](unsigned id) {
+        if (stats_.cellsPerWorker.size() <= id) {
+            stats_.cellsPerWorker.resize(id + 1, 0);
+            stats_.busyPerWorker.resize(id + 1, 0.0);
+        }
+        stats_.workers =
+            static_cast<unsigned>(stats_.cellsPerWorker.size());
+    };
+
+    auto dispatch = [&]() {
+        for (Conn &c : conns_) {
+            if (work.empty())
+                break;
+            if (!c.inBatch || !c.waiting || c.assigned >= 0)
+                continue;
+            std::size_t cell = work.front();
+            Json::Object msg;
+            msg["type"] = "cell";
+            msg["index"] = u64(cell);
+            if (!proto::writeFrame(c.fd, Json(std::move(msg))))
+                continue; // death surfaces via its poll readability
+            work.pop_front();
+            c.waiting = false;
+            c.assigned = static_cast<long>(cell);
+            auto it = plannedLane.find(cell);
+            if (it != plannedLane.end() &&
+                it->second !=
+                    static_cast<unsigned>(c.id) % planLanes)
+                ++stats_.steals;
+        }
+    };
+
+    bool waitingNoteShown = false;
+    auto anyInBatch = [&]() {
+        return std::any_of(conns_.begin(), conns_.end(),
+                           [](const Conn &c) { return c.inBatch; });
+    };
+
+    // Main loop runs until every cell has a result; the drain phase
+    // then answers stragglers' reqs with batch_done so warm workers
+    // block cleanly on their next hello instead of a stale req.
+    while (completed < total || anyInBatch()) {
+        std::vector<pollfd> fds;
+        fds.push_back({listenFd_, POLLIN, 0});
+        for (const Conn &c : conns_)
+            fds.push_back({c.fd, POLLIN, 0});
+
+        int rc = ::poll(fds.data(), fds.size(), 200);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            throw std::runtime_error(
+                std::string("fleet: poll: ") + std::strerror(errno));
+        }
+        if (rc == 0) {
+            reapChildren();
+            if (completed < total && conns_.empty()) {
+                if (spawned_ && childrenLive_ == 0 &&
+                    !opts_.workerArgv.empty())
+                    throw std::runtime_error(
+                        "fleet: all workers died with " +
+                        std::to_string(total - completed) +
+                        " cells outstanding");
+                if (!waitingNoteShown && opts_.spawnWorkers == 0) {
+                    std::fprintf(
+                        stderr,
+                        "[fleet] waiting for workers on %s "
+                        "(attach with --connect)\n",
+                        path_.c_str());
+                    waitingNoteShown = true;
+                }
+            }
+            continue;
+        }
+
+        if (fds[0].revents & POLLIN) {
+            int fd = ::accept(listenFd_, nullptr, nullptr);
+            if (fd >= 0) {
+                setCloexec(fd);
+                Conn c;
+                c.fd = fd;
+                conns_.push_back(c);
+            }
+        }
+
+        // Walk a snapshot of the fd list; conns_ mutates on death.
+        for (std::size_t f = 1; f < fds.size(); ++f) {
+            if (!(fds[f].revents & (POLLIN | POLLHUP | POLLERR)))
+                continue;
+            std::size_t i = 0;
+            while (i < conns_.size() && conns_[i].fd != fds[f].fd)
+                ++i;
+            if (i == conns_.size())
+                continue;
+
+            Json msg;
+            std::string err;
+            proto::ReadStatus st =
+                proto::readFrame(conns_[i].fd, msg, &err);
+            if (st != proto::ReadStatus::Ok) {
+                if (st == proto::ReadStatus::Error && opts_.verbose)
+                    std::fprintf(stderr, "[fleet] worker %d: %s\n",
+                                 conns_[i].id, err.c_str());
+                dropConn(i, work);
+                continue;
+            }
+
+            const std::string type = strField(msg, "type");
+            Conn &c = conns_[i];
+            if (type == "hello") {
+                std::string reason;
+                if (strField(msg, "fingerprint") != fingerprint_)
+                    reason = "code fingerprint mismatch";
+                else if (!opts_.benchName.empty() &&
+                         strField(msg, "bench") != opts_.benchName)
+                    reason = "bench mismatch (" +
+                             strField(msg, "bench") + ")";
+                else if (uintField(msg, "batch") == batch &&
+                         strField(msg, "grid_hash") != gridHash)
+                    reason = "grid hash mismatch";
+                else if (uintField(msg, "batch") > batch)
+                    reason = "worker ahead of coordinator";
+                if (!reason.empty()) {
+                    Json::Object rej;
+                    rej["type"] = "reject";
+                    rej["reason"] = reason;
+                    proto::writeFrame(c.fd, Json(std::move(rej)));
+                    dropConn(i, work);
+                    continue;
+                }
+                if (c.id < 0) {
+                    c.id = static_cast<int>(nextId_++);
+                    ensureWorkerSlot(static_cast<unsigned>(c.id));
+                }
+                // A hello for an older batch gets the current batch
+                // number back; the worker skips forward (its batch
+                // completed without it — fully cached, say).
+                Json::Object wel;
+                wel["type"] = "welcome";
+                wel["batch"] = u64(batch);
+                wel["worker"] = u64(static_cast<std::uint64_t>(c.id));
+                if (!proto::writeFrame(c.fd, Json(std::move(wel)))) {
+                    dropConn(i, work);
+                    continue;
+                }
+                if (uintField(msg, "batch") == batch)
+                    c.inBatch = true;
+            } else if (type == "req") {
+                if (!c.inBatch) {
+                    dropConn(i, work); // protocol error
+                    continue;
+                }
+                if (completed == total) {
+                    Json::Object done;
+                    done["type"] = "batch_done";
+                    proto::writeFrame(c.fd, Json(std::move(done)));
+                    c.inBatch = false;
+                    c.waiting = false;
+                } else {
+                    // Held even when the queue is momentarily empty:
+                    // a requeued cell (worker death) must find an
+                    // idle worker to land on.
+                    c.waiting = true;
+                }
+            } else if (type == "result") {
+                std::size_t idx =
+                    static_cast<std::size_t>(uintField(msg, "index"));
+                if (!c.inBatch || c.assigned < 0 ||
+                    static_cast<std::size_t>(c.assigned) != idx) {
+                    dropConn(i, work); // protocol error
+                    continue;
+                }
+                c.assigned = -1;
+                ++completed;
+                const unsigned id = static_cast<unsigned>(c.id);
+                ensureWorkerSlot(id);
+                ++stats_.cellsPerWorker[id];
+                const Json &cell = msg.at("cell");
+                if (cell.isObject() &&
+                    cell.contains("wall_seconds") &&
+                    cell.at("wall_seconds").isNumber())
+                    stats_.busyPerWorker[id] +=
+                        cell.at("wall_seconds").asDouble();
+                if (opts_.verbose)
+                    std::fprintf(stderr,
+                                 "[fleet] cell %zu <- worker %u "
+                                 "(%zu/%zu)\n",
+                                 idx, id, completed, total);
+                onResult(idx, id, cell);
+            } else {
+                dropConn(i, work); // unknown message
+                continue;
+            }
+        }
+
+        dispatch();
+
+        if (completed == total) {
+            // Answer held reqs; workers not yet heard from drain on
+            // their own req in a later loop iteration.
+            for (Conn &c : conns_) {
+                if (!c.inBatch || !c.waiting)
+                    continue;
+                Json::Object done;
+                done["type"] = "batch_done";
+                proto::writeFrame(c.fd, Json(std::move(done)));
+                c.inBatch = false;
+                c.waiting = false;
+            }
+        }
+    }
+    (void)batch;
+}
+
+// --------------------------------------------------------------------
+// FleetWorker
+
+FleetWorker::FleetWorker(std::string connectPath)
+    : path_(std::move(connectPath))
+{
+    if (const char *chaos = std::getenv("PERSPECTIVE_FLEET_CHAOS")) {
+        // "ID:N" — die right before sending the Nth result.
+        char *colon = nullptr;
+        long id = std::strtol(chaos, &colon, 10);
+        if (colon && *colon == ':') {
+            chaosWorker_ = id;
+            chaosAfter_ = std::strtoull(colon + 1, nullptr, 10);
+        }
+    }
+}
+
+FleetWorker::~FleetWorker()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+FleetWorker::ensureConnected()
+{
+    if (fd_ >= 0)
+        return;
+    std::string err;
+    // The coordinator binds before spawning, but an externally
+    // attached worker may race a coordinator still booting.
+    for (int attempt = 0;; ++attempt) {
+        fd_ = proto::connectUnix(path_, &err);
+        if (fd_ >= 0)
+            return;
+        if (attempt >= 50)
+            throw std::runtime_error("fleet worker: " + err);
+        ::usleep(100 * 1000);
+    }
+}
+
+std::size_t
+FleetWorker::serveBatch(std::uint64_t batch,
+                        const std::string &gridHash,
+                        const std::string &benchName, const ExecFn &exec)
+{
+    if (gone_)
+        return 0;
+    ensureConnected();
+
+    Json::Object hello;
+    hello["type"] = "hello";
+    hello["batch"] = u64(batch);
+    hello["grid_hash"] = gridHash;
+    hello["bench"] = benchName;
+    hello["fingerprint"] = codeFingerprint();
+    hello["pid"] = u64(static_cast<std::uint64_t>(::getpid()));
+    if (!proto::writeFrame(fd_, Json(std::move(hello)))) {
+        // Coordinator already exited (fully cached final batch):
+        // nothing left to serve.
+        gone_ = true;
+        return 0;
+    }
+
+    Json msg;
+    std::string err;
+    proto::ReadStatus st = proto::readFrame(fd_, msg, &err);
+    if (st == proto::ReadStatus::Eof) {
+        gone_ = true; // coordinator finished without needing us
+        return 0;
+    }
+    if (st != proto::ReadStatus::Ok)
+        throw std::runtime_error("fleet worker: handshake: " + err);
+    if (strField(msg, "type") == "reject")
+        throw std::runtime_error("fleet worker: rejected: " +
+                                 strField(msg, "reason"));
+    if (strField(msg, "type") != "welcome")
+        throw std::runtime_error("fleet worker: expected welcome, got " +
+                                 strField(msg, "type"));
+    id_ = static_cast<unsigned>(uintField(msg, "worker"));
+    if (uintField(msg, "batch") > batch)
+        return 0; // batch completed without us; skip forward
+
+    std::size_t served = 0;
+    for (;;) {
+        Json::Object req;
+        req["type"] = "req";
+        if (!proto::writeFrame(fd_, Json(std::move(req))))
+            throw std::runtime_error(
+                "fleet worker: coordinator died mid-batch");
+        st = proto::readFrame(fd_, msg, &err);
+        if (st != proto::ReadStatus::Ok)
+            throw std::runtime_error(
+                "fleet worker: coordinator died mid-batch: " + err);
+        const std::string type = strField(msg, "type");
+        if (type == "batch_done")
+            return served;
+        if (type != "cell")
+            throw std::runtime_error("fleet worker: unexpected " + type);
+
+        const std::size_t index =
+            static_cast<std::size_t>(uintField(msg, "index"));
+        Json cell = exec(index);
+        ++cellsExecuted_;
+        if (chaosWorker_ >= 0 &&
+            static_cast<long>(id_) == chaosWorker_ &&
+            cellsExecuted_ == chaosAfter_)
+            ::_exit(42); // cell computed but never sent: mid-cell death
+
+        Json::Object res;
+        res["type"] = "result";
+        res["index"] = u64(index);
+        res["cell"] = std::move(cell);
+        if (!proto::writeFrame(fd_, Json(std::move(res))))
+            throw std::runtime_error(
+                "fleet worker: coordinator died mid-batch");
+        ++served;
+    }
+}
+
+} // namespace perspective::harness

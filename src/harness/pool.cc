@@ -9,6 +9,10 @@ namespace
 {
 /** Worker lane of the current thread; 0 on non-pool threads. */
 thread_local unsigned tlsWorker = 0;
+/** The pool that owns the current thread; nullptr off-pool. Lets
+ * currentLane() tell "worker 3 of *this* pool" apart from "worker 3
+ * of whatever pool happens to be running nested code". */
+thread_local const ThreadPool *tlsPool = nullptr;
 } // namespace
 
 ThreadPool::ThreadPool(unsigned threads) : numThreads_(threads)
@@ -40,6 +44,12 @@ unsigned
 ThreadPool::currentWorker()
 {
     return tlsWorker;
+}
+
+unsigned
+ThreadPool::currentLane() const
+{
+    return tlsPool == this ? tlsWorker : 0;
 }
 
 void
@@ -84,6 +94,7 @@ void
 ThreadPool::workerLoop(unsigned worker)
 {
     tlsWorker = worker;
+    tlsPool = this;
     for (;;) {
         std::function<void()> task;
         {

@@ -1,0 +1,180 @@
+#include "proto.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace perspective::harness::proto
+{
+
+namespace
+{
+
+void
+setError(std::string *error, const std::string &msg)
+{
+    if (error)
+        *error = msg;
+}
+
+/** Read exactly @p len bytes; returns bytes read (< len on EOF/err). */
+std::size_t
+readFull(int fd, char *buf, std::size_t len)
+{
+    std::size_t got = 0;
+    while (got < len) {
+        ssize_t n = ::read(fd, buf + got, len - got);
+        if (n > 0) {
+            got += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && (errno == EINTR || errno == EAGAIN))
+            continue;
+        break; // EOF (0) or hard error
+    }
+    return got;
+}
+
+bool
+writeFull(int fd, const char *buf, std::size_t len)
+{
+    std::size_t sent = 0;
+    while (sent < len) {
+        // MSG_NOSIGNAL: a peer that died turns into EPIPE here, not
+        // a process-wide SIGPIPE.
+        ssize_t n = ::send(fd, buf + sent, len - sent, MSG_NOSIGNAL);
+        if (n > 0) {
+            sent += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && (errno == EINTR || errno == EAGAIN))
+            continue;
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+encodeFrame(const Json &msg)
+{
+    std::string payload = msg.dump();
+    std::string frame;
+    frame.reserve(8 + payload.size());
+    frame.append(kMagic, 4);
+    std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+    for (int i = 0; i < 4; ++i)
+        frame.push_back(static_cast<char>((len >> (8 * i)) & 0xff));
+    frame += payload;
+    return frame;
+}
+
+bool
+writeFrame(int fd, const Json &msg)
+{
+    std::string frame = encodeFrame(msg);
+    return writeFull(fd, frame.data(), frame.size());
+}
+
+ReadStatus
+readFrame(int fd, Json &out, std::string *error)
+{
+    char header[8];
+    std::size_t got = readFull(fd, header, sizeof header);
+    if (got == 0) {
+        setError(error, "eof");
+        return ReadStatus::Eof;
+    }
+    if (got < sizeof header) {
+        setError(error, "truncated frame header (" +
+                            std::to_string(got) + " of 8 bytes)");
+        return ReadStatus::Error;
+    }
+    if (std::memcmp(header, kMagic, 4) != 0) {
+        setError(error, "bad frame magic");
+        return ReadStatus::Error;
+    }
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i)
+        len |= static_cast<std::uint32_t>(
+                   static_cast<unsigned char>(header[4 + i]))
+               << (8 * i);
+    if (len > kMaxFrame) {
+        setError(error,
+                 "frame length " + std::to_string(len) +
+                     " exceeds limit " + std::to_string(kMaxFrame));
+        return ReadStatus::Error;
+    }
+    std::string payload(len, '\0');
+    if (readFull(fd, payload.data(), len) < len) {
+        setError(error, "truncated frame payload");
+        return ReadStatus::Error;
+    }
+    try {
+        out = Json::parse(payload);
+    } catch (const std::exception &ex) {
+        setError(error, std::string("frame payload: ") + ex.what());
+        return ReadStatus::Error;
+    }
+    return ReadStatus::Ok;
+}
+
+int
+listenUnix(const std::string &path, std::string *error)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof addr.sun_path) {
+        setError(error, "socket path too long: " + path);
+        return -1;
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        setError(error, std::string("socket: ") + std::strerror(errno));
+        return -1;
+    }
+    ::unlink(path.c_str()); // stale socket from a crashed run
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) != 0 ||
+        ::listen(fd, 64) != 0) {
+        setError(error, "bind/listen '" + path +
+                            "': " + std::strerror(errno));
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int
+connectUnix(const std::string &path, std::string *error)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof addr.sun_path) {
+        setError(error, "socket path too long: " + path);
+        return -1;
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        setError(error, std::string("socket: ") + std::strerror(errno));
+        return -1;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        setError(error, "connect '" + path +
+                            "': " + std::strerror(errno));
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+} // namespace perspective::harness::proto

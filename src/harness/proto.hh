@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Length-prefixed JSON framing over local stream sockets — the wire
+ * protocol of the sweep fleet (fleet.hh). A frame is
+ *
+ *   'P' 'F' 'L' '1'            4-byte magic/version
+ *   u32 little-endian length   payload byte count
+ *   payload                    one JSON document, UTF-8
+ *
+ * Frames are self-delimiting, so a reader can always tell a complete
+ * message from a truncated one: a short read (peer died mid-frame),
+ * a bad magic (foreign speaker), or an oversized length (corruption)
+ * all surface as clean errors, never as a partial JSON parse. The
+ * payload is ordinary harness Json, so every message is printable
+ * and the tests can fuzz truncations without a socket.
+ *
+ * Blocking I/O is deliberate: frames are small (a work order is a
+ * grid index; a result is one cell JSON), both ends are local, and
+ * the coordinator multiplexes readiness with poll(2) before reading
+ * a frame, so a blocking readFrame only ever waits on a peer that
+ * has started a frame — a dead peer closes the socket and the read
+ * fails instead of hanging.
+ */
+
+#ifndef PERSPECTIVE_HARNESS_PROTO_HH
+#define PERSPECTIVE_HARNESS_PROTO_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "json.hh"
+
+namespace perspective::harness::proto
+{
+
+/** Frame magic ("PFL1"): protocol name + wire version. */
+inline constexpr char kMagic[4] = {'P', 'F', 'L', '1'};
+
+/** Upper bound on a payload; a length beyond this is corruption (the
+ * largest real message is one sweep cell, a few hundred KiB). */
+inline constexpr std::uint32_t kMaxFrame = 64u << 20;
+
+/** Outcome of a frame read. */
+enum class ReadStatus
+{
+    Ok,    ///< a complete frame was decoded into the out-param
+    Eof,   ///< orderly close on a frame boundary (no bytes read)
+    Error, ///< truncated frame, bad magic/length, or I/O error
+};
+
+/** Serialize @p msg into a complete frame (header + payload). */
+std::string encodeFrame(const Json &msg);
+
+/**
+ * Write one frame to @p fd, retrying short writes. Returns false on
+ * any I/O error (EPIPE included — writes use MSG_NOSIGNAL, so a dead
+ * peer fails the call instead of killing the process).
+ */
+bool writeFrame(int fd, const Json &msg);
+
+/**
+ * Read one complete frame from @p fd into @p out. Eof is returned
+ * only when the peer closed cleanly *between* frames; a close after
+ * the first header byte is a truncated frame and reads as Error,
+ * with @p error describing what broke (including JSON parse errors
+ * in the payload).
+ */
+ReadStatus readFrame(int fd, Json &out, std::string *error = nullptr);
+
+/**
+ * Create, bind, and listen on an AF_UNIX stream socket at @p path
+ * (unlinking any stale socket first). Returns the listening fd, or
+ * -1 with @p error set.
+ */
+int listenUnix(const std::string &path, std::string *error);
+
+/** Connect to the AF_UNIX socket at @p path; -1 + @p error on
+ * failure. */
+int connectUnix(const std::string &path, std::string *error);
+
+} // namespace perspective::harness::proto
+
+#endif // PERSPECTIVE_HARNESS_PROTO_HH

@@ -9,7 +9,10 @@
 #include <fstream>
 #include <set>
 
+#include <unistd.h>
+
 #include "chrome_trace.hh"
+#include "fleet.hh"
 
 namespace perspective::harness
 {
@@ -125,6 +128,60 @@ doubleField(const Json &obj, const char *field)
                : 0.0;
 }
 
+/** Run one cell (custom body or Experiment), capturing failure and
+ * wall seconds into @p slot. Shared by the in-process pool path and
+ * the fleet-worker serve loop, so fleet results go through exactly
+ * the execution code a single process would use. */
+void
+executeCell(const SweepCell &cell, CellResult &slot)
+{
+    auto c0 = Clock::now();
+    try {
+        if (cell.body) {
+            slot.result = cell.body(cell);
+        } else {
+            workloads::Experiment e(cell.profile, cell.scheme,
+                                    cell.seed, cell.fastForward);
+            slot.result = e.run(cell.iterations, cell.warmup);
+        }
+        slot.ok = true;
+    } catch (const std::exception &ex) {
+        slot.ok = false;
+        slot.error = ex.what();
+    } catch (...) {
+        slot.ok = false;
+        slot.error = "unknown exception";
+    }
+    slot.wallSeconds = secondsSince(c0);
+}
+
+/** Batch identity for the fleet handshake: FNV-1a over the bench
+ * name, the cell count and every cell's config hash, in grid order.
+ * Coordinator and worker run the same main(), so agreement here
+ * means "cell index K" denotes the same simulation on both ends. */
+std::string
+batchGridHash(const std::string &bench,
+              const std::vector<SweepCell> &cells)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](const std::string &s) {
+        for (unsigned char c : s) {
+            h ^= c;
+            h *= 1099511628211ull;
+        }
+        h ^= 0x1f;
+        h *= 1099511628211ull;
+    };
+    mix(bench);
+    mix(std::to_string(cells.size()));
+    for (const SweepCell &c : cells)
+        mix(cellConfigHash(c));
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
 } // namespace
 
 const char *
@@ -192,6 +249,18 @@ parseSweepArgs(const std::string &bench_name, int argc, char **argv)
             parseShard(value("--shard"), "--shard", opts);
         } else if (arg.rfind("--shard=", 0) == 0) {
             parseShard(arg.substr(8), "--shard", opts);
+        } else if (arg == "--fleet") {
+            opts.fleetWorkers = parseJobs(value("--fleet"), "--fleet");
+        } else if (arg.rfind("--fleet=", 0) == 0) {
+            opts.fleetWorkers = parseJobs(arg.substr(8), "--fleet");
+        } else if (arg == "--fleet-socket") {
+            opts.fleetSocket = value("--fleet-socket");
+        } else if (arg.rfind("--fleet-socket=", 0) == 0) {
+            opts.fleetSocket = arg.substr(15);
+        } else if (arg == "--connect") {
+            opts.connectPath = value("--connect");
+        } else if (arg.rfind("--connect=", 0) == 0) {
+            opts.connectPath = arg.substr(10);
         } else if (arg == "--help" || arg == "-h") {
             std::printf(
                 "usage: %s [--jobs N] [--json PATH] "
@@ -215,7 +284,17 @@ parseSweepArgs(const std::string &bench_name, int argc, char **argv)
                 "  --shard K/N      run only shard K of N (1-based);\n"
                 "                   recombine the emitted JSONs with\n"
                 "                   bench_report --merge (env\n"
-                "                   PERSPECTIVE_SHARD)\n",
+                "                   PERSPECTIVE_SHARD)\n"
+                "  --fleet N        run as a fleet coordinator:\n"
+                "                   spawn N worker copies of this\n"
+                "                   binary and dispatch cells to\n"
+                "                   idle workers (work stealing)\n"
+                "  --fleet-socket PATH\n"
+                "                   coordinator listen socket (with\n"
+                "                   --fleet, or alone to serve only\n"
+                "                   externally attached workers)\n"
+                "  --connect PATH   run as a fleet worker attached\n"
+                "                   to the coordinator at PATH\n",
                 bench_name.c_str());
             std::exit(0);
         } else {
@@ -224,6 +303,38 @@ parseSweepArgs(const std::string &bench_name, int argc, char **argv)
                          "(try --help)\n",
                          bench_name.c_str(), arg.c_str());
             std::exit(2);
+        }
+    }
+
+    if (opts.fleetCoordinator() && opts.fleetWorker()) {
+        std::fprintf(stderr,
+                     "%s: --fleet/--fleet-socket and --connect are "
+                     "mutually exclusive\n",
+                     bench_name.c_str());
+        std::exit(2);
+    }
+    if ((opts.fleetCoordinator() || opts.fleetWorker()) &&
+        opts.sharded()) {
+        std::fprintf(stderr,
+                     "%s: fleet mode and --shard are mutually "
+                     "exclusive (the fleet already partitions the "
+                     "grid dynamically)\n",
+                     bench_name.c_str());
+        std::exit(2);
+    }
+    if (opts.fleetCoordinator()) {
+        // Workers re-run this very binary: same main, same grid.
+        // They need none of our flags — outputs, cache and sharding
+        // are coordinator-owned, and the fleet flags must not
+        // recurse — so the spawn command is just the binary.
+        char exe[4096];
+        ssize_t n =
+            ::readlink("/proc/self/exe", exe, sizeof exe - 1);
+        if (n > 0) {
+            exe[n] = '\0';
+            opts.workerArgv = {exe};
+        } else if (argc > 0) {
+            opts.workerArgv = {argv[0]};
         }
     }
     return opts;
@@ -247,6 +358,23 @@ shardOf(const std::string &configHash, unsigned shardCount)
 
 SweepRunner::SweepRunner(SweepOptions opts) : opts_(std::move(opts))
 {
+    if (opts_.fleetWorker()) {
+        // A fleet worker owns no outputs: the coordinator emits the
+        // sweep JSON/trace and alone touches the cache directory
+        // (DESIGN §5.7). Clearing here also neutralizes inherited
+        // PERSPECTIVE_BENCH_JSON / PERSPECTIVE_CACHE_DIR environment
+        // from the coordinator that spawned us.
+        opts_.jsonPath.clear();
+        opts_.tracePath.clear();
+        opts_.cacheDir.clear();
+        opts_.noCache = true;
+        opts_.jobs = 1;
+    } else if (opts_.fleetCoordinator()) {
+        // The coordinator only dispatches; simulation happens in the
+        // workers, so its own pool stays inline.
+        opts_.jobs = 1;
+    }
+
     if (!opts_.jsonPath.empty())
         probeWritable(opts_.jsonPath, "--json");
     if (!opts_.tracePath.empty()) {
@@ -262,6 +390,18 @@ SweepRunner::SweepRunner(SweepOptions opts) : opts_(std::move(opts))
     unsigned n = opts_.effectiveJobs();
     pool_ = std::make_unique<ThreadPool>(n <= 1 ? 0 : n);
     workerBusy_.assign(std::max(1u, n), 0.0);
+
+    if (opts_.fleetCoordinator()) {
+        FleetCoordinator::Options fo;
+        fo.spawnWorkers = opts_.fleetWorkers;
+        fo.socketPath = opts_.fleetSocket;
+        fo.workerArgv = opts_.workerArgv;
+        fo.benchName = opts_.benchName;
+        fleet_ = std::make_unique<FleetCoordinator>(std::move(fo));
+    } else if (opts_.fleetWorker()) {
+        fleetClient_ =
+            std::make_unique<FleetWorker>(opts_.connectPath);
+    }
 }
 
 SweepRunner::~SweepRunner()
@@ -275,16 +415,20 @@ SweepRunner::~SweepRunner()
 std::vector<CellResult>
 SweepRunner::run(const std::vector<SweepCell> &cells)
 {
+    if (fleetClient_)
+        return runAsFleetWorker(cells);
+
     auto t0 = Clock::now();
-    const unsigned nWorkers = std::max(1u, opts_.effectiveJobs());
 
     std::vector<CellResult> out(cells.size());
 
-    /** A cell this process must actually simulate. */
+    /** A cell this process must actually simulate (or, as a fleet
+     * coordinator, dispatch). */
     struct Pending
     {
         std::size_t idx = 0;
         std::string hash;
+        bool ff = false;       ///< fast-forward execution mode
         double weight = 0;     ///< work-size heuristic units
         double measured = -1;  ///< cached wall seconds; < 0 = unseen
     };
@@ -310,6 +454,9 @@ SweepRunner::run(const std::vector<SweepCell> &cells)
             ++skippedCells_;
             continue;
         }
+        // In fleet mode this lookup runs only here, in the
+        // coordinator: workers never see the cache directory, so
+        // hits are answered centrally and cannot race worker writes.
         if (auto hit = cache_->load(hash)) {
             std::uint64_t gi = slot.gridIndex;
             slot = cellFromCachedJson(*hit);
@@ -320,9 +467,10 @@ SweepRunner::run(const std::vector<SweepCell> &cells)
         Pending p;
         p.idx = i;
         p.hash = std::move(hash);
+        p.ff = cell.fastForward;
         p.weight = workloads::estimatedRequestWeight(cell.profile) *
                    (cell.iterations + cell.warmup + 1.0);
-        if (auto cost = cache_->loadCost(p.hash))
+        if (auto cost = cache_->loadCost(p.hash, p.ff))
             p.measured = *cost;
         pending.push_back(std::move(p));
     }
@@ -331,19 +479,37 @@ SweepRunner::run(const std::vector<SweepCell> &cells)
     // trims the makespan tail a grid-order submission leaves when a
     // long cell lands last. Measured costs are seconds; heuristic
     // weights are calibrated into seconds against whatever measured
-    // cells this batch has, so the two sort comparably. The *output*
-    // stays in deterministic grid order regardless (slots are fixed).
-    double mSecs = 0, mWeight = 0;
+    // cells this batch has, so the two sort comparably. The
+    // calibration is per execution mode: fast-forward runs ~3x
+    // faster than detailed (PR 8), so one shared scale would leave
+    // every unseen cell of the minority mode ~3x mis-estimated. A
+    // mode with no measurements in this batch borrows the other's
+    // scale through that ratio. The *output* stays in deterministic
+    // grid order regardless (slots are fixed).
+    constexpr double kFastForwardSpeedup = 3.0;
+    double mSecs[2] = {0, 0}, mWeight[2] = {0, 0};
     for (const Pending &p : pending) {
         if (p.measured >= 0) {
-            mSecs += p.measured;
-            mWeight += p.weight;
+            mSecs[p.ff] += p.measured;
+            mWeight[p.ff] += p.weight;
         }
     }
-    const double scale =
-        (mWeight > 0 && mSecs > 0) ? mSecs / mWeight : 1.0;
-    auto keyOf = [scale](const Pending &p) {
-        return p.measured >= 0 ? p.measured : p.weight * scale;
+    double scale[2];
+    for (int m = 0; m < 2; ++m)
+        scale[m] = (mWeight[m] > 0 && mSecs[m] > 0)
+                       ? mSecs[m] / mWeight[m]
+                       : -1;
+    if (scale[0] < 0 && scale[1] < 0) {
+        scale[0] = 1.0;
+        scale[1] = 1.0 / kFastForwardSpeedup;
+    } else if (scale[1] < 0) {
+        scale[1] = scale[0] / kFastForwardSpeedup;
+    } else if (scale[0] < 0) {
+        scale[0] = scale[1] * kFastForwardSpeedup;
+    }
+    auto keyOf = [&scale](const Pending &p) {
+        return p.measured >= 0 ? p.measured
+                               : p.weight * scale[p.ff];
     };
     std::stable_sort(pending.begin(), pending.end(),
                      [&](const Pending &a, const Pending &b) {
@@ -352,47 +518,79 @@ SweepRunner::run(const std::vector<SweepCell> &cells)
 
     const bool persist = cache_->persistent();
     const unsigned jobsNow = jobs();
-    for (const Pending &p : pending) {
-        const SweepCell &cell = cells[p.idx];
-        CellResult &slot = out[p.idx];
-        CellCache *cache = cache_.get();
-        std::string hash = p.hash;
-        pool_->submit([&cell, &slot, cache, hash = std::move(hash),
-                       persist, jobsNow] {
-            auto c0 = Clock::now();
-            try {
-                if (cell.body) {
-                    slot.result = cell.body(cell);
-                } else {
-                    workloads::Experiment e(cell.profile, cell.scheme,
-                                            cell.seed,
-                                            cell.fastForward);
-                    slot.result =
-                        e.run(cell.iterations, cell.warmup);
-                }
-                slot.ok = true;
-            } catch (const std::exception &ex) {
-                slot.ok = false;
-                slot.error = ex.what();
-            } catch (...) {
-                slot.ok = false;
-                slot.error = "unknown exception";
-            }
-            slot.wallSeconds = secondsSince(c0);
-            slot.worker = ThreadPool::currentWorker();
-            // Feed the scheduler (and, when persistent, the next
-            // process) this cell's real cost; only successful cells
-            // become servable cache entries.
-            cache->storeCost(hash, slot.wallSeconds);
-            if (persist && slot.ok)
-                cache->store(hash, cellToJson(slot, jobsNow));
-        });
+    if (fleet_) {
+        // Coordinator path: hand the LPT-ordered queue to the fleet;
+        // idle workers pull cells one at a time. Results land in
+        // their grid-indexed slots as they arrive, so assembly order
+        // is independent of which worker stole what.
+        std::vector<std::size_t> queue;
+        std::vector<double> qcosts;
+        std::map<std::size_t, const Pending *> byIdx;
+        queue.reserve(pending.size());
+        qcosts.reserve(pending.size());
+        for (const Pending &p : pending) {
+            queue.push_back(p.idx);
+            qcosts.push_back(keyOf(p));
+            byIdx[p.idx] = &p;
+        }
+        if (!queue.empty())
+            fleet_->runBatch(
+                batch_, batchGridHash(opts_.benchName, cells), queue,
+                qcosts,
+                [&](std::size_t idx, unsigned workerId,
+                    const Json &cell) {
+                    CellResult &slot = out[idx];
+                    const std::uint64_t gi = slot.gridIndex;
+                    slot = cellFromCachedJson(cell);
+                    slot.cached = false; // fresh; raw rides along
+                    slot.gridIndex = gi;
+                    slot.worker = workerId;
+                    const Pending &p = *byIdx.at(idx);
+                    // Central cost + cache writes: the cache-
+                    // ownership rule (workers never touch the dir).
+                    cache_->storeCost(p.hash, p.ff,
+                                      slot.wallSeconds);
+                    if (persist && slot.ok)
+                        cache_->store(p.hash, cell);
+                });
+    } else {
+        for (const Pending &p : pending) {
+            const SweepCell &cell = cells[p.idx];
+            CellResult &slot = out[p.idx];
+            CellCache *cache = cache_.get();
+            ThreadPool *pool = pool_.get();
+            std::string hash = p.hash;
+            const bool ff = p.ff;
+            pool_->submit([&cell, &slot, cache, pool,
+                           hash = std::move(hash), ff, persist,
+                           jobsNow] {
+                executeCell(cell, slot);
+                // Lane attribution must be against *this* pool:
+                // under nesting (a fleet worker's inline pool inside
+                // another binary's pool thread) the static
+                // currentWorker() would report the outer pool's lane.
+                slot.worker = pool->currentLane();
+                // Feed the scheduler (and, when persistent, the next
+                // process) this cell's real cost; only successful
+                // cells become servable cache entries.
+                cache->storeCost(hash, ff, slot.wallSeconds);
+                if (persist && slot.ok)
+                    cache->store(hash, cellToJson(slot, jobsNow));
+            });
+        }
+        pool_->wait();
     }
-    pool_->wait();
+    ++batch_;
 
     // Schedule accounting: the ideal makespan is a perfectly
     // balanced distribution of the measured per-cell seconds across
     // the workers, bounded below by the longest single cell.
+    unsigned nWorkers = std::max(1u, opts_.effectiveJobs());
+    if (fleet_) {
+        nWorkers = std::max(1u, fleet_->stats().workers);
+        if (workerBusy_.size() < nWorkers)
+            workerBusy_.resize(nWorkers, 0.0);
+    }
     double total = 0, longest = 0;
     for (const Pending &p : pending) {
         const CellResult &r = out[p.idx];
@@ -405,6 +603,55 @@ SweepRunner::run(const std::vector<SweepCell> &cells)
     executedCells_ += pending.size();
     idealMakespan_ +=
         std::max(longest, total / static_cast<double>(nWorkers));
+
+    if (fleet_ && !pending.empty()) {
+        // What a static --shard split across this worker count would
+        // have cost: per-cell measured walls summed per hash-shard,
+        // slowest shard dominating. The fleet's measured makespan
+        // divided by this is the work-stealing speedup bench_report
+        // summarizes.
+        std::vector<double> shardLoad(nWorkers, 0.0);
+        for (const Pending &p : pending)
+            shardLoad[shardOf(p.hash, nWorkers)] +=
+                out[p.idx].wallSeconds;
+        fleetStaticShardEst_ += *std::max_element(shardLoad.begin(),
+                                                  shardLoad.end());
+    }
+
+    wallSeconds_ += secondsSince(t0);
+    results_.insert(results_.end(), out.begin(), out.end());
+    return out;
+}
+
+std::vector<CellResult>
+SweepRunner::runAsFleetWorker(const std::vector<SweepCell> &cells)
+{
+    auto t0 = Clock::now();
+    std::vector<CellResult> out(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const SweepCell &cell = cells[i];
+        CellResult &slot = out[i];
+        slot.workload = cell.profile.name;
+        slot.scheme = workloads::schemeName(cell.scheme);
+        slot.seed = cell.seed;
+        slot.iterations = cell.iterations;
+        slot.warmup = cell.warmup;
+        slot.fastForward = cell.fastForward;
+        slot.tags = cell.tags;
+        slot.gridIndex = nextGridIndex_++;
+        slot.skipped = true; // another worker's unless served here
+    }
+
+    const std::size_t served = fleetClient_->serveBatch(
+        batch_++, batchGridHash(opts_.benchName, cells),
+        opts_.benchName, [&](std::size_t idx) -> Json {
+            CellResult &slot = out.at(idx);
+            executeCell(cells.at(idx), slot);
+            slot.skipped = false;
+            return cellToJson(slot, 1);
+        });
+    executedCells_ += served;
+    skippedCells_ += cells.size() - served;
 
     wallSeconds_ += secondsSince(t0);
     results_.insert(results_.end(), out.begin(), out.end());
@@ -512,12 +759,16 @@ Json
 cellToJson(const CellResult &r, unsigned jobs)
 {
     if (r.raw) {
-        // A cached cell re-emits the original run's JSON verbatim —
+        // A raw-bearing cell re-emits its original JSON verbatim —
         // histograms, time series and provenance (config hash, git,
-        // wall seconds, jobs) are the original run's — plus the
-        // cached marker and its position in the *current* grid.
+        // wall seconds, jobs) are the producing run's — plus its
+        // position in the *current* grid. Cells served by the cell
+        // cache carry the cached marker; a fleet result's raw is the
+        // worker's fresh output and is emitted unmarked, exactly as
+        // a single process would have emitted it.
         Json::Object o = r.raw->asObject();
-        o["cached"] = true;
+        if (r.cached)
+            o["cached"] = true;
         o["grid_index"] = r.gridIndex;
         return Json(std::move(o));
     }
@@ -690,7 +941,7 @@ SweepRunner::toJson() const
     }
 
     Json::Object sched;
-    sched["policy"] = "cost-aware";
+    sched["policy"] = fleet_ ? "fleet-work-stealing" : "cost-aware";
     sched["makespan"] = wallSeconds_;
     sched["ideal_makespan"] = idealMakespan_;
     sched["executed"] = executedCells_;
@@ -701,6 +952,20 @@ SweepRunner::toJson() const
     for (double b : workerBusy_)
         busy.emplace_back(b);
     sched["worker_busy"] = std::move(busy);
+    if (fleet_) {
+        const FleetStats &fs = fleet_->stats();
+        Json::Object fl;
+        fl["workers"] = fs.workers;
+        fl["steals"] = fs.steals;
+        fl["stragglers_resent"] = fs.stragglersResent;
+        Json::Array cpw;
+        cpw.reserve(fs.cellsPerWorker.size());
+        for (std::uint64_t c : fs.cellsPerWorker)
+            cpw.emplace_back(c);
+        fl["cells_per_worker"] = std::move(cpw);
+        fl["static_shard_makespan_est"] = fleetStaticShardEst_;
+        sched["fleet"] = std::move(fl);
+    }
     doc["schedule"] = std::move(sched);
 
     return Json(std::move(doc));

@@ -43,6 +43,9 @@
 namespace perspective::harness
 {
 
+class FleetCoordinator;
+class FleetWorker;
+
 /** One grid cell: a workload under a scheme with a seed. */
 struct SweepCell
 {
@@ -130,17 +133,37 @@ struct SweepOptions
     unsigned shardCount = 1;
     bool sharded() const { return shardCount > 1; }
 
+    /** Fleet mode (fleet.hh, DESIGN §5.7): `--fleet N` makes this
+     * process the grid-owning coordinator, spawning N worker copies
+     * of itself; `--fleet-socket PATH` fixes the listen path (given
+     * alone: a coordinator serving externally attached workers
+     * only); `--connect PATH` makes this process a worker of the
+     * coordinator at PATH. Mutually exclusive with --shard. */
+    unsigned fleetWorkers = 0;
+    std::string fleetSocket;
+    std::string connectPath;
+    /** Spawn command for fleet workers (binary path; the coordinator
+     * appends --connect). */
+    std::vector<std::string> workerArgv;
+    bool fleetCoordinator() const
+    {
+        return fleetWorkers > 0 || !fleetSocket.empty();
+    }
+    bool fleetWorker() const { return !connectPath.empty(); }
+
     /** Effective worker count after defaulting. */
     unsigned effectiveJobs() const;
 };
 
 /**
  * Parse `--jobs N` / `--json PATH` / `--trace-out PATH` /
- * `--cache-dir PATH` / `--no-cache` / `--shard K/N` (and `--help`)
- * from argv, with PERSPECTIVE_JOBS / PERSPECTIVE_BENCH_JSON /
+ * `--cache-dir PATH` / `--no-cache` / `--shard K/N` / `--fleet N` /
+ * `--fleet-socket PATH` / `--connect PATH` (and `--help`) from argv,
+ * with PERSPECTIVE_JOBS / PERSPECTIVE_BENCH_JSON /
  * PERSPECTIVE_TRACE_OUT / PERSPECTIVE_CACHE_DIR / PERSPECTIVE_SHARD
- * as environment fallbacks. Unknown arguments print usage and
- * exit(2).
+ * as environment fallbacks (the fleet flags are argv-only: a worker
+ * inheriting a coordinator's environment must not become a
+ * coordinator). Unknown arguments print usage and exit(2).
  */
 SweepOptions parseSweepArgs(const std::string &bench_name, int argc,
                             char **argv);
@@ -189,6 +212,13 @@ class SweepRunner
     unsigned shardIndex() const { return opts_.shardIndex; }
     unsigned shardCount() const { return opts_.shardCount; }
 
+    /** This runner dispatches cells to fleet workers (fleet.hh). */
+    bool isFleetCoordinator() const { return fleet_ != nullptr; }
+    /** This runner serves cells to a fleet coordinator; it owns no
+     * outputs (no JSON/trace/tables) and never touches the cache
+     * directory. */
+    bool isFleetWorker() const { return fleetClient_ != nullptr; }
+
     /** The cell cache (always present; memory-only without a
      * directory). */
     CellCache &cache() { return *cache_; }
@@ -221,13 +251,21 @@ class SweepRunner
     ~SweepRunner();
 
   private:
+    std::vector<CellResult>
+    runAsFleetWorker(const std::vector<SweepCell> &cells);
+
     SweepOptions opts_;
     std::unique_ptr<ThreadPool> pool_;
     std::unique_ptr<CellCache> cache_;
     std::unique_ptr<sim::trace::EventLog> traceLog_;
+    std::unique_ptr<FleetCoordinator> fleet_;
+    std::unique_ptr<FleetWorker> fleetClient_;
     std::vector<CellResult> results_;
     double wallSeconds_ = 0;
     std::uint64_t nextGridIndex_ = 0;
+    /** run() call ordinal; coordinator and workers execute the same
+     * bench main, so the ordinal alone identifies a batch. */
+    std::uint64_t batch_ = 0;
 
     // Cost-aware schedule accounting (accumulated across run()s).
     double idealMakespan_ = 0;
@@ -235,6 +273,11 @@ class SweepRunner
     std::uint64_t executedCells_ = 0;
     std::uint64_t cachedCells_ = 0;
     std::uint64_t skippedCells_ = 0;
+    /** Fleet only: estimated makespan a static --shard split across
+     * the same worker count would have had (measured per-cell walls
+     * summed per hash-shard, max over shards, accumulated across
+     * batches) — the work-stealing speedup denominator. */
+    double fleetStaticShardEst_ = 0;
 };
 
 /**

@@ -92,6 +92,53 @@ TEST(ThreadPool, InlineModeExceptionRethrownFromWait)
     EXPECT_EQ(count.load(), 3);
 }
 
+TEST(ThreadPool, CurrentLaneIsPerPoolUnderNesting)
+{
+    // Regression: a fleet worker executes cells on its own inline
+    // pool while its thread may belong to an enclosing pool. The
+    // static currentWorker() reports the enclosing pool's lane; the
+    // per-instance currentLane() must report the lane *in the asked
+    // pool* — 0 for a pool the thread does not belong to — or the
+    // outer lane leaks into the inner pool's worker_busy accounting.
+    ThreadPool outer(2);
+    std::mutex mu;
+    std::condition_variable cv;
+    int arrived = 0;
+    std::set<unsigned> outerLanes;
+    std::vector<unsigned> innerLanes;
+    std::set<unsigned> staticLanes;
+    for (int i = 0; i < 2; ++i)
+        outer.submit([&] {
+            {
+                // Rendezvous so both outer lanes are occupied (the
+                // same worker cannot serve both tasks).
+                std::unique_lock<std::mutex> lk(mu);
+                ++arrived;
+                cv.notify_all();
+                cv.wait(lk, [&] { return arrived == 2; });
+            }
+            unsigned mine = outer.currentLane();
+            ThreadPool inner(0); // inline, as a fleet worker runs
+            unsigned innerLane = 99;
+            inner.submit(
+                [&] { innerLane = inner.currentLane(); });
+            inner.wait();
+            std::lock_guard<std::mutex> lk(mu);
+            outerLanes.insert(mine);
+            innerLanes.push_back(innerLane);
+            staticLanes.insert(ThreadPool::currentWorker());
+        });
+    outer.wait();
+    // The outer pool sees its own lanes through currentLane()...
+    EXPECT_EQ(outerLanes, (std::set<unsigned>{0u, 1u}));
+    // ...and so does the ambiguous static accessor...
+    EXPECT_EQ(staticLanes, (std::set<unsigned>{0u, 1u}));
+    // ...but the nested pool correctly claims neither thread.
+    ASSERT_EQ(innerLanes.size(), 2u);
+    EXPECT_EQ(innerLanes[0], 0u);
+    EXPECT_EQ(innerLanes[1], 0u);
+}
+
 // ---- Json ----------------------------------------------------------
 
 TEST(Json, RoundTripsScalars)
