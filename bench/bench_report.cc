@@ -23,6 +23,15 @@
  *   bench_report out.json --perf-baseline base.json
  *       # exit 1 if aggregate MIPS < 0.80x the baseline's
  *
+ * Sampled sweeps (PERSPECTIVE_SAMPLE, DESIGN §5.8) are statistical:
+ * --check refuses files containing sampled cells, and
+ * --accuracy-baseline instead gates each input's per-scheme mean
+ * overhead (geomean of cycles normalized to the unsafe scheme,
+ * matched by workload+scheme) against an exact sweep within a
+ * relative-error threshold (--accuracy-threshold, default 0.02):
+ *
+ *   bench_report sampled.json --accuracy-baseline exact.json
+ *
  * Shard recombination: sweeps run with `--shard K/N` each emit a
  * partial JSON; --merge stitches them back into one complete sweep
  * document (cells restored to grid order), refusing duplicated,
@@ -33,6 +42,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -68,6 +78,16 @@ struct Cell
     std::uint64_t secretLoads = 0;
     std::uint64_t leakTransmissions = 0;
     std::uint64_t leakBytes = 0; ///< bytes_transmitted
+
+    // Sampled-simulation block (schema 5). A sampled cell's cycles
+    // are a statistical extrapolation: never bit-comparable, so
+    // --check refuses files containing any; --accuracy-baseline is
+    // the sanctioned comparison.
+    bool sampled = false;
+    std::uint64_t windows = 0;
+    double cpiMean = 0;
+    double cpiCi95 = 0;
+    double relError = 0; ///< ci95 / mean on the CPI estimate
 };
 
 struct SweepFile
@@ -127,6 +147,12 @@ struct SweepFile
     std::uint64_t gapSamples = 0;
     double gapP50W = 0; ///< sum of per-cell p50 * count
     double gapP99W = 0; ///< sum of per-cell p99 * count
+
+    // Sampled-simulation presence and aggregate precision (schema 5).
+    std::uint64_t sampledCells = 0;
+    std::uint64_t sampledWindows = 0;
+    double relErrSum = 0; ///< sum of per-cell rel_error
+    double relErrMax = 0;
 
     // Transient-leakage totals over all cells (schema 4).
     std::uint64_t secretLoads = 0;
@@ -276,6 +302,21 @@ loadSweep(const std::string &path, bool skipHeavy = false,
                 f.gapP99W += h.at("p99").asDouble() *
                              static_cast<double>(n);
             }
+        }
+        if (cj.contains("sampling")) {
+            const Json &sj = cj.at("sampling");
+            c.sampled = true;
+            c.windows = uintOr0(sj, "windows");
+            if (sj.contains("cpi_mean"))
+                c.cpiMean = sj.at("cpi_mean").asDouble();
+            if (sj.contains("cpi_ci95"))
+                c.cpiCi95 = sj.at("cpi_ci95").asDouble();
+            if (sj.contains("rel_error"))
+                c.relError = sj.at("rel_error").asDouble();
+            ++f.sampledCells;
+            f.sampledWindows += c.windows;
+            f.relErrSum += c.relError;
+            f.relErrMax = std::max(f.relErrMax, c.relError);
         }
         if (cj.contains("leakage")) {
             const Json &lj = cj.at("leakage");
@@ -463,6 +504,15 @@ summarize(const SweepFile &f)
                     static_cast<unsigned long long>(f.fleetResent),
                     f.makespan, f.staticShardEst, ratio);
     }
+    if (f.sampledCells > 0)
+        std::printf("  sampled: %llu cell(s), %llu detailed "
+                    "window(s); CPI 95%% CI rel. error avg %.2f%% "
+                    "max %.2f%% (statistical — not bit-comparable)\n",
+                    static_cast<unsigned long long>(f.sampledCells),
+                    static_cast<unsigned long long>(f.sampledWindows),
+                    100.0 * f.relErrSum /
+                        static_cast<double>(f.sampledCells),
+                    100.0 * f.relErrMax);
     if (f.secretLoads > 0 || f.leakBytes > 0)
         std::printf("  leakage: %llu secret loads (%llu bytes at "
                     "risk), %llu transmissions, %llu bytes "
@@ -573,6 +623,107 @@ perfCompare(const std::vector<SweepFile> &inputs,
     return failures;
 }
 
+/**
+ * Per-scheme overhead: geometric mean, over the workloads present,
+ * of cycles(workload, scheme) / cycles(workload, "unsafe") within
+ * the same file. The figure every results table in the paper is
+ * built from, and the quantity the sampled-accuracy gate compares.
+ */
+std::map<std::string, double>
+schemeOverheads(const SweepFile &f)
+{
+    // scheme -> workload -> cycles; duplicates (the same pair run
+    // twice, e.g. simspeed's boot passes) keep the first occurrence.
+    std::map<std::string, std::map<std::string, double>> cyc;
+    for (const Cell &c : f.cells)
+        if (c.ok && c.cycles > 0)
+            cyc[c.scheme].emplace(c.workload,
+                                  static_cast<double>(c.cycles));
+    std::map<std::string, double> out;
+    auto unsafeIt = cyc.find("unsafe");
+    if (unsafeIt == cyc.end())
+        return out;
+    for (const auto &[scheme, byWorkload] : cyc) {
+        if (scheme == "unsafe")
+            continue;
+        std::vector<double> ratios;
+        for (const auto &[w, cycles] : byWorkload) {
+            auto u = unsafeIt->second.find(w);
+            if (u != unsafeIt->second.end() && u->second > 0)
+                ratios.push_back(cycles / u->second);
+        }
+        if (!ratios.empty())
+            out[scheme] = perspective::harness::geomean(ratios);
+    }
+    return out;
+}
+
+/**
+ * Statistical-accuracy gate (--accuracy-baseline): every input's
+ * per-scheme mean overhead must sit within @p threshold relative
+ * error of the exact baseline's. Cells are matched by
+ * (workload, scheme) — sampled and exact runs of the same cell hash
+ * differently by design, so the config-hash matching of --baseline
+ * cannot pair them. Returns the number of failing schemes across
+ * all inputs.
+ */
+unsigned
+accuracyCompare(const std::vector<SweepFile> &inputs,
+                const SweepFile &base, double threshold)
+{
+    std::map<std::string, double> baseOv = schemeOverheads(base);
+    std::printf("\naccuracy baseline: %s (threshold: rel. error "
+                "<= %.2f%% on per-scheme mean overhead)\n",
+                base.path.c_str(), 100.0 * threshold);
+    if (baseOv.empty()) {
+        std::fprintf(stderr,
+                     "bench_report: accuracy baseline has no unsafe "
+                     "reference cells — cannot compute overheads\n");
+        return 1;
+    }
+    unsigned failures = 0;
+    for (const SweepFile &f : inputs) {
+        std::map<std::string, double> ov = schemeOverheads(f);
+        // Mean CPI-CI relative error per scheme, from the sampled
+        // cells themselves (the estimator's own precision claim,
+        // printed beside the measured-against-exact error).
+        std::map<std::string, std::pair<double, unsigned>> ci;
+        for (const Cell &c : f.cells)
+            if (c.ok && c.sampled) {
+                ci[c.scheme].first += c.relError;
+                ci[c.scheme].second += 1;
+            }
+        std::printf("  %s:\n", f.path.c_str());
+        std::printf("    %-20s %10s %10s %10s %10s  %s\n", "scheme",
+                    "base ovh", "this ovh", "rel err", "avg ci95",
+                    "verdict");
+        for (const auto &[scheme, bo] : baseOv) {
+            auto it = ov.find(scheme);
+            if (it == ov.end()) {
+                std::printf("    %-20s %10.4f %10s %10s %10s  %s\n",
+                            scheme.c_str(), bo, "-", "-", "-",
+                            "MISSING");
+                ++failures;
+                continue;
+            }
+            double rel = bo > 0 ? std::abs(it->second - bo) / bo : 0;
+            bool ok = rel <= threshold;
+            if (!ok)
+                ++failures;
+            auto cit = ci.find(scheme);
+            char cibuf[16] = "-";
+            if (cit != ci.end() && cit->second.second > 0)
+                std::snprintf(cibuf, sizeof cibuf, "%9.2f%%",
+                              100.0 * cit->second.first /
+                                  cit->second.second);
+            std::printf("    %-20s %10.4f %10.4f %9.2f%% %10s  %s\n",
+                        scheme.c_str(), bo, it->second, 100.0 * rel,
+                        cibuf, ok ? "ok" : "FAIL");
+        }
+    }
+    return failures;
+}
+
 /** Split a comma-separated scheme list ("" => match everything). */
 std::vector<std::string>
 splitSchemes(const std::string &list)
@@ -657,6 +808,15 @@ usage(int code)
         "                     falls below R x F's (timing gate)\n"
         "  --perf-threshold R minimum allowed MIPS ratio "
         "(default 0.80)\n"
+        "  --accuracy-baseline F\n"
+        "                     gate sampled sweeps: exit 1 if any\n"
+        "                     input's per-scheme mean overhead\n"
+        "                     (geomean cycles vs unsafe, matched by\n"
+        "                     workload+scheme) deviates from exact\n"
+        "                     baseline F by more than the threshold\n"
+        "  --accuracy-threshold R\n"
+        "                     max allowed relative error "
+        "(default 0.02)\n"
         "  --leak-gate[=S,..] exit 1 if any successful cell (of the\n"
         "                     listed schemes; all when omitted)\n"
         "                     reports transmitted leakage bytes\n"
@@ -678,6 +838,8 @@ main(int argc, char **argv)
 {
     std::vector<std::string> inputs;
     std::string baselinePath, perfBaselinePath, mergePath;
+    std::string accuracyBaselinePath;
+    double accuracyThreshold = 0.02;
     double perfThreshold = 0.80;
     bool check = false, verbose = false, strict = false;
     bool leakGateOn = false, expectLeak = false;
@@ -709,6 +871,18 @@ main(int argc, char **argv)
             perfThreshold = std::atof(argv[++i]);
         } else if (arg.rfind("--perf-threshold=", 0) == 0) {
             perfThreshold = std::atof(arg.substr(17).c_str());
+        } else if (arg == "--accuracy-baseline") {
+            if (i + 1 >= argc)
+                usage(2);
+            accuracyBaselinePath = argv[++i];
+        } else if (arg.rfind("--accuracy-baseline=", 0) == 0) {
+            accuracyBaselinePath = arg.substr(20);
+        } else if (arg == "--accuracy-threshold") {
+            if (i + 1 >= argc)
+                usage(2);
+            accuracyThreshold = std::atof(argv[++i]);
+        } else if (arg.rfind("--accuracy-threshold=", 0) == 0) {
+            accuracyThreshold = std::atof(arg.substr(21).c_str());
         } else if (arg == "--leak-gate") {
             leakGateOn = true;
         } else if (arg.rfind("--leak-gate=", 0) == 0) {
@@ -737,7 +911,8 @@ main(int argc, char **argv)
         // Merge mode is exclusive: the output is a sweep document,
         // not a report.
         if (check || strict || verbose || !baselinePath.empty() ||
-            !perfBaselinePath.empty()) {
+            !perfBaselinePath.empty() ||
+            !accuracyBaselinePath.empty()) {
             std::fprintf(stderr,
                          "bench_report: --merge cannot be combined "
                          "with report flags\n");
@@ -756,6 +931,12 @@ main(int argc, char **argv)
     if (perfThreshold <= 0) {
         std::fprintf(stderr,
                      "bench_report: --perf-threshold must be > 0\n");
+        return 2;
+    }
+    if (accuracyThreshold <= 0) {
+        std::fprintf(
+            stderr,
+            "bench_report: --accuracy-threshold must be > 0\n");
         return 2;
     }
 
@@ -779,6 +960,27 @@ main(int argc, char **argv)
         fallbacks += base.fallbackKeys;
         std::printf("\nbaseline: ");
         summarize(base);
+        if (check) {
+            // Sampled cells are statistical estimates: two correct
+            // runs legitimately differ, so a bit-exact gate over
+            // them can only mislead (spurious green on lucky seeds,
+            // spurious red otherwise). Refuse outright rather than
+            // diff; --accuracy-baseline is the sanctioned gate.
+            std::uint64_t sampled = base.sampledCells;
+            for (const SweepFile &f : files)
+                sampled += f.sampledCells;
+            if (sampled > 0) {
+                std::fprintf(
+                    stderr,
+                    "bench_report: FAIL — --check compares cells "
+                    "bit-for-bit, but %llu cell(s) across the inputs "
+                    "are sampled (statistical). Use "
+                    "--accuracy-baseline with an exact sweep "
+                    "instead.\n",
+                    static_cast<unsigned long long>(sampled));
+                return 1;
+            }
+        }
         for (const SweepFile &f : files)
             total_diffs += compare(f, base, verbose);
     }
@@ -796,6 +998,12 @@ main(int argc, char **argv)
     if (!perfBaselinePath.empty())
         perf_failures = perfCompare(files, loadSweep(perfBaselinePath),
                                     perfThreshold);
+
+    unsigned accuracy_failures = 0;
+    if (!accuracyBaselinePath.empty())
+        accuracy_failures =
+            accuracyCompare(files, loadSweep(accuracyBaselinePath),
+                            accuracyThreshold);
 
     unsigned leak_failures = 0;
     if (leakGateOn)
@@ -835,6 +1043,13 @@ main(int argc, char **argv)
                      "bench_report: FAIL — %u file(s) below the "
                      "performance threshold\n",
                      perf_failures);
+        return 1;
+    }
+    if (accuracy_failures > 0) {
+        std::fprintf(stderr,
+                     "bench_report: FAIL — %u scheme(s) outside the "
+                     "sampled-accuracy threshold\n",
+                     accuracy_failures);
         return 1;
     }
     return 0;

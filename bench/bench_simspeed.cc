@@ -66,7 +66,8 @@ main(int argc, char **argv)
     std::vector<Scheme> schemes = allSchemes();
     auto suite = lebenchSuite();
 
-    auto makeGrid = [&](const char *boot_tag, bool fastForward) {
+    auto makeGrid = [&](const char *boot_tag, bool fastForward,
+                        sim::SamplingParams sampling = {}) {
         std::vector<SweepCell> cells;
         for (const auto &w : suite) {
             for (Scheme s : schemes) {
@@ -76,9 +77,11 @@ main(int argc, char **argv)
                 c.iterations = kIterations;
                 c.warmup = kWarmup;
                 c.fastForward = fastForward;
+                c.sampling = sampling;
                 c.tags["boot"] = boot_tag;
-                c.tags["exec"] =
-                    fastForward ? "fastforward" : "detailed";
+                c.tags["exec"] = sampling.enabled ? "sampled"
+                                 : fastForward    ? "fastforward"
+                                                  : "detailed";
                 cells.push_back(std::move(c));
             }
         }
@@ -109,6 +112,38 @@ main(int argc, char **argv)
     auto sharedFf = sweep.run(makeGrid("shared", true));
     ModeTotals sharedFfT = totalsOf(sharedFf, sweep.wallSeconds() - w2);
 
+    // Fourth pass: sampled simulation (DESIGN §5.8) on the shared
+    // boot. Statistical rather than bit-exact, so it runs in its own
+    // runner emitting to a separate "-sampled" JSON — the main
+    // emission stays the 513-cell exact grid CI compares
+    // bit-identically. Skipped under fleet: coordinator and workers
+    // must construct identical batch sequences, and the second
+    // runner would fork that lockstep.
+    ModeTotals sampledT;
+    std::size_t sampledCells = 0;
+    if (!opts.fleetCoordinator() && !opts.fleetWorker()) {
+        SweepOptions sopts = opts;
+        sopts.tracePath.clear();
+        if (!sopts.jsonPath.empty()) {
+            std::string p = sopts.jsonPath;
+            const std::string ext = ".json";
+            if (p.size() > ext.size() &&
+                p.compare(p.size() - ext.size(), ext.size(), ext) == 0)
+                p.insert(p.size() - ext.size(), "-sampled");
+            else
+                p += "-sampled";
+            sopts.jsonPath = p;
+        }
+        SweepRunner sampledSweep(sopts);
+        sim::SamplingParams sp;
+        sp.enabled = true;
+        auto sampled = sampledSweep.run(makeGrid("shared", true, sp));
+        sampledT = totalsOf(sampled, sampledSweep.wallSeconds());
+        sampledCells = sampled.size();
+        if (!sampledSweep.emitOutputs())
+            return 1;
+    }
+
     // Per-cell MIPS table for the fast-path run.
     std::printf("%-14s", "benchmark");
     for (Scheme s : schemes)
@@ -138,6 +173,9 @@ main(int argc, char **argv)
                 shared.size(), sharedT.wall, sharedT.mips());
     std::printf("%-12s %10zu %10.2f %10.2f\n", "shared+ff",
                 sharedFf.size(), sharedFfT.wall, sharedFfT.mips());
+    if (sampledCells > 0)
+        std::printf("%-12s %10zu %10.2f %10.2f\n", "shared+smpl",
+                    sampledCells, sampledT.wall, sampledT.mips());
     if (freshT.mips() > 0)
         std::printf("\nboot-snapshot speedup: %.2fx (aggregate "
                     "simulated MIPS, %u jobs)\n",
@@ -146,6 +184,11 @@ main(int argc, char **argv)
         std::printf("fast-forward speedup:  %.2fx over the shared-"
                     "boot detailed loop\n",
                     sharedFfT.mips() / sharedT.mips());
+    if (sampledCells > 0 && sharedFfT.mips() > 0)
+        std::printf("sampled speedup:       %.2fx over the fast-"
+                    "forward loop (statistical; bench_report "
+                    "--accuracy-baseline gates the error)\n",
+                    sampledT.mips() / sharedFfT.mips());
 
     return sweep.emitOutputs() ? 0 : 1;
 }

@@ -459,6 +459,65 @@ PerspectivePolicy::gateLoad(const SpecContext &ctx)
     return Gate::Allow;
 }
 
+void
+PerspectivePolicy::warmAccess(const SpecContext &ctx)
+{
+    // Functional warming (DESIGN §5.8): replay a committed kernel
+    // load against the ISV/DSV caches so sampled detailed windows
+    // start with the lookup state a continuously-detailed run would
+    // have. Everything here must stay accounting-free: no counters,
+    // no burst runs, no histogram samples, no wake-slot writes —
+    // warming has no timeline, so fills land immediately ready and
+    // deferred-LRU is off. The pipeline only warms while
+    // allowFastForward() holds, so no revocation window is open.
+    if (!ctx.kernelMode)
+        return;
+
+    Context *c;
+    if (ctxMruCtx_ && ctxMruAsid_ == ctx.asid) {
+        c = ctxMruCtx_;
+    } else {
+        auto it = contexts_.find(ctx.asid);
+        if (it == contexts_.end())
+            return; // unregistered: nothing to warm
+        ctxMruAsid_ = ctx.asid;
+        ctxMruCtx_ = &it->second;
+        auto tit = dsvmts_.find(it->second.domain);
+        ctxMruTree_ = tit == dsvmts_.end() ? nullptr : &tit->second;
+        c = ctxMruCtx_;
+    }
+
+    if (cfg_.enableIsv && c->isv) {
+        if (c->isvEpochSeen != c->isv->epoch()) {
+            isvCache_.invalidateAsid(ctx.asid);
+            c->isvEpochSeen = c->isv->epoch();
+        }
+        HwLookup look = isvCache_.lookup(ctx.pc, ctx.asid, false,
+                                         ctx.now, false);
+        if (!look.hit) {
+            IsvRegionBits bits;
+            bits.bits =
+                c->isv->regionBits(ctx.pc, IsvCache::kRegionBytes);
+            if (adminIsv_ && c->fleetSeen == fleetGen_ &&
+                (fleetBits_ & kernel::kFleetRestrictIsv) != 0) {
+                auto admin = adminIsv_->regionBits(
+                    ctx.pc, IsvCache::kRegionBytes);
+                bits.bits[0] &= admin[0];
+                bits.bits[1] &= admin[1];
+            }
+            isvCache_.fill(ctx.pc, ctx.asid, bits, 0);
+        }
+    }
+
+    if (cfg_.enableDsv && kernel::inDirectMap(ctx.dataVa)) {
+        HwLookup look = dsvCache_.lookup(ctx.dataVa, ctx.asid, false,
+                                         ctx.now, false);
+        if (!look.hit)
+            dsvCache_.fill(ctx.dataVa, ctx.asid,
+                           dsvFillValue(ctx.dataVa, *c), 0);
+    }
+}
+
 bool
 PerspectivePolicy::dsvFillValue(sim::Addr va, const Context &c)
 {

@@ -116,6 +116,13 @@ class PerspectivePolicy : public sim::SpeculationPolicy
 
     sim::Gate gateLoad(const sim::SpecContext &ctx) override;
     sim::GateWake gateWake(const sim::SpecContext &ctx) override;
+
+    /** Accounting-free ISV/DSV cache warming for sampled simulation's
+     * functional phases (DESIGN §5.8): fills the same entries a
+     * gateLoad at @p ctx would, with ready-at-0 latency, without
+     * touching counters, histograms, burst runs or the wake slot. */
+    void warmAccess(const sim::SpecContext &ctx) override;
+
     void setStats(sim::StatSet *stats) override;
     const char *name() const override { return name_.c_str(); }
 

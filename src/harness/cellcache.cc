@@ -82,9 +82,17 @@ namespace
  * timing estimates if the hash recipe ever stops covering the mode
  * (costs are epoch-independent, so they outlive hash changes). */
 std::string
-costKeyOf(const std::string &configHash, bool fastForward)
+costKeyOf(const std::string &configHash, ExecMode mode)
 {
-    return fastForward ? configHash + "-ff" : configHash;
+    switch (mode) {
+    case ExecMode::FastForward:
+        return configHash + "-ff";
+    case ExecMode::Sampled:
+        return configHash + "-sampled";
+    case ExecMode::Detailed:
+        break;
+    }
+    return configHash;
 }
 
 } // namespace
@@ -164,9 +172,9 @@ CellCache::store(const std::string &configHash, const Json &cell)
 }
 
 std::optional<double>
-CellCache::loadCost(const std::string &configHash, bool fastForward)
+CellCache::loadCost(const std::string &configHash, ExecMode mode)
 {
-    const std::string key = costKeyOf(configHash, fastForward);
+    const std::string key = costKeyOf(configHash, mode);
     {
         std::lock_guard<std::mutex> lk(mu_);
         auto it = memCosts_.find(key);
@@ -185,10 +193,10 @@ CellCache::loadCost(const std::string &configHash, bool fastForward)
 }
 
 void
-CellCache::storeCost(const std::string &configHash, bool fastForward,
+CellCache::storeCost(const std::string &configHash, ExecMode mode,
                      double seconds)
 {
-    const std::string key = costKeyOf(configHash, fastForward);
+    const std::string key = costKeyOf(configHash, mode);
     {
         std::lock_guard<std::mutex> lk(mu_);
         memCosts_[key] = seconds;

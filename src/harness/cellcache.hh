@@ -55,7 +55,7 @@ namespace perspective::harness
  * edited defaults, toolchain quirks being chased, …). Part of the
  * code fingerprint, so a bump invalidates every cached cell.
  */
-inline constexpr unsigned kSimResultEpoch = 4; // +fast-forward mode in cell key
+inline constexpr unsigned kSimResultEpoch = 5; // +sampled mode in cell key
 
 /**
  * The code half of the cache key: a 16-hex-digit FNV-1a over the
@@ -64,6 +64,19 @@ inline constexpr unsigned kSimResultEpoch = 4; // +fast-forward mode in cell key
  * source at the same epoch.
  */
 std::string codeFingerprint(unsigned epoch = kSimResultEpoch);
+
+/**
+ * Execution mode of a cell, as the cost table keys on it. Three
+ * distinct timing regimes: detailed (~1x), fast-forward (~3x, still
+ * timing-exact) and sampled (~an order of magnitude, statistical) —
+ * an estimate recorded under one mode is badly stale under another.
+ */
+enum class ExecMode
+{
+    Detailed,
+    FastForward,
+    Sampled,
+};
 
 /** On-disk cell store; thread-safe (the sweep workers write back
  * concurrently). */
@@ -105,17 +118,34 @@ class CellCache
      */
     bool store(const std::string &configHash, const Json &cell);
 
-    /** Last recorded wall seconds for @p configHash executed with
-     * @p fastForward: the in-memory table first, then the on-disk
-     * cost table. */
+    /** Last recorded wall seconds for @p configHash executed under
+     * @p mode: the in-memory table first, then the on-disk cost
+     * table. */
     std::optional<double> loadCost(const std::string &configHash,
-                                   bool fastForward);
+                                   ExecMode mode);
 
-    /** Record @p seconds for @p configHash executed with
-     * @p fastForward (always in memory; also on disk when
-     * persistent). */
-    void storeCost(const std::string &configHash, bool fastForward,
+    /** Record @p seconds for @p configHash executed under @p mode
+     * (always in memory; also on disk when persistent). */
+    void storeCost(const std::string &configHash, ExecMode mode,
                    double seconds);
+
+    /** Two-mode convenience forms (pre-sampling callers and tests):
+     * @p fastForward false = Detailed, true = FastForward. */
+    std::optional<double> loadCost(const std::string &configHash,
+                                   bool fastForward)
+    {
+        return loadCost(configHash, fastForward
+                                        ? ExecMode::FastForward
+                                        : ExecMode::Detailed);
+    }
+    void storeCost(const std::string &configHash, bool fastForward,
+                   double seconds)
+    {
+        storeCost(configHash,
+                  fastForward ? ExecMode::FastForward
+                              : ExecMode::Detailed,
+                  seconds);
+    }
 
     Stats stats() const;
 

@@ -17,6 +17,7 @@
 
 #include "cellcache.hh"
 #include "proto.hh"
+#include "sim/sampling.hh"
 
 namespace perspective::harness
 {
@@ -71,6 +72,7 @@ FleetCoordinator::FleetCoordinator(Options opts) : opts_(std::move(opts))
         throw std::runtime_error("fleet: " + err);
     setCloexec(listenFd_);
     fingerprint_ = codeFingerprint();
+    sampling_ = sim::SamplingParams::fromEnv().spec();
 }
 
 FleetCoordinator::~FleetCoordinator()
@@ -322,6 +324,10 @@ FleetCoordinator::runBatch(std::uint64_t batch,
                          strField(msg, "bench") != opts_.benchName)
                     reason = "bench mismatch (" +
                              strField(msg, "bench") + ")";
+                else if (strField(msg, "sampling") != sampling_)
+                    reason = "sampling config mismatch (worker '" +
+                             strField(msg, "sampling") + "' vs '" +
+                             sampling_ + "')";
                 else if (uintField(msg, "batch") == batch &&
                          strField(msg, "grid_hash") != gridHash)
                     reason = "grid hash mismatch";
@@ -425,6 +431,13 @@ FleetCoordinator::runBatch(std::uint64_t batch,
 FleetWorker::FleetWorker(std::string connectPath)
     : path_(std::move(connectPath))
 {
+    // Connect eagerly: once the constructor returns, the coordinator
+    // can see this worker on its listen socket. Deferring the
+    // connect to the first serveBatch() leaves a window where a
+    // sibling drains the whole batch and the coordinator moves on
+    // before this worker ever shows up — it would then block on a
+    // hello nobody answers until the coordinator exits.
+    ensureConnected();
     if (const char *chaos = std::getenv("PERSPECTIVE_FLEET_CHAOS")) {
         // "ID:N" — die right before sending the Nth result.
         char *colon = nullptr;
@@ -475,6 +488,10 @@ FleetWorker::serveBatch(std::uint64_t batch,
     hello["grid_hash"] = gridHash;
     hello["bench"] = benchName;
     hello["fingerprint"] = codeFingerprint();
+    // Spawned workers inherit the coordinator's environment, so this
+    // normally matches by construction; the check catches externally
+    // attached workers launched under a different PERSPECTIVE_SAMPLE.
+    hello["sampling"] = sim::SamplingParams::fromEnv().spec();
     hello["pid"] = u64(static_cast<std::uint64_t>(::getpid()));
     if (!proto::writeFrame(fd_, Json(std::move(hello)))) {
         // Coordinator already exited (fully cached final batch):

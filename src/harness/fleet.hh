@@ -138,6 +138,11 @@ class FleetCoordinator
     unsigned nextId_ = 0;
     FleetStats stats_;
     std::string fingerprint_;
+    /** This process's sampling spec (PERSPECTIVE_SAMPLE); workers
+     * whose hello reports a different spec are rejected — a sampled
+     * coordinator mixing exact worker results (or vice versa) would
+     * silently blend statistical and exact cells. */
+    std::string sampling_;
 };
 
 /** The serving side; one per worker process. */

@@ -80,6 +80,7 @@ std::string
 hashCellConfig(const std::string &workload, const std::string &scheme,
                std::uint64_t seed, unsigned iterations,
                unsigned warmup, bool fastForward,
+               const sim::SamplingParams &sampling,
                const std::map<std::string, std::string> &tags)
 {
     // FNV-1a 64 over every knob that determines the cell's outcome;
@@ -102,6 +103,13 @@ hashCellConfig(const std::string &workload, const std::string &scheme,
     mix(std::to_string(iterations));
     mix(std::to_string(warmup));
     mix(fastForward ? "ff" : "detailed");
+    // Sampled cells mix their full sampling spec so sampled and
+    // exact runs can never share cache entries, shards or matches.
+    // Disabled sampling mixes nothing: exact cells keep hashing
+    // byte-identically to pre-sampling schemas, preserving their
+    // cached results and committed baselines.
+    if (sampling.enabled)
+        mix("sampled:" + sampling.spec());
     for (const auto &[k, v] : tags) {
         mix(k);
         mix(v);
@@ -141,7 +149,8 @@ executeCell(const SweepCell &cell, CellResult &slot)
             slot.result = cell.body(cell);
         } else {
             workloads::Experiment e(cell.profile, cell.scheme,
-                                    cell.seed, cell.fastForward);
+                                    cell.seed, cell.fastForward,
+                                    cell.sampling);
             slot.result = e.run(cell.iterations, cell.warmup);
         }
         slot.ok = true;
@@ -428,7 +437,7 @@ SweepRunner::run(const std::vector<SweepCell> &cells)
     {
         std::size_t idx = 0;
         std::string hash;
-        bool ff = false;       ///< fast-forward execution mode
+        ExecMode mode = ExecMode::Detailed;
         double weight = 0;     ///< work-size heuristic units
         double measured = -1;  ///< cached wall seconds; < 0 = unseen
     };
@@ -444,6 +453,7 @@ SweepRunner::run(const std::vector<SweepCell> &cells)
         slot.iterations = cell.iterations;
         slot.warmup = cell.warmup;
         slot.fastForward = cell.fastForward;
+        slot.sampling = cell.sampling;
         slot.tags = cell.tags;
         slot.gridIndex = nextGridIndex_++;
 
@@ -467,10 +477,12 @@ SweepRunner::run(const std::vector<SweepCell> &cells)
         Pending p;
         p.idx = i;
         p.hash = std::move(hash);
-        p.ff = cell.fastForward;
+        p.mode = cell.sampling.enabled ? ExecMode::Sampled
+                 : cell.fastForward    ? ExecMode::FastForward
+                                       : ExecMode::Detailed;
         p.weight = workloads::estimatedRequestWeight(cell.profile) *
                    (cell.iterations + cell.warmup + 1.0);
-        if (auto cost = cache_->loadCost(p.hash, p.ff))
+        if (auto cost = cache_->loadCost(p.hash, p.mode))
             p.measured = *cost;
         pending.push_back(std::move(p));
     }
@@ -481,35 +493,40 @@ SweepRunner::run(const std::vector<SweepCell> &cells)
     // weights are calibrated into seconds against whatever measured
     // cells this batch has, so the two sort comparably. The
     // calibration is per execution mode: fast-forward runs ~3x
-    // faster than detailed (PR 8), so one shared scale would leave
-    // every unseen cell of the minority mode ~3x mis-estimated. A
-    // mode with no measurements in this batch borrows the other's
-    // scale through that ratio. The *output* stays in deterministic
-    // grid order regardless (slots are fixed).
-    constexpr double kFastForwardSpeedup = 3.0;
-    double mSecs[2] = {0, 0}, mWeight[2] = {0, 0};
+    // faster than detailed (PR 8) and sampled ~9x (DESIGN §5.8), so
+    // one shared scale would leave every unseen cell of a minority
+    // mode badly mis-estimated. A mode with no measurements in this
+    // batch borrows a measured lane's scale through those nominal
+    // speed ratios. The *output* stays in deterministic grid order
+    // regardless (slots are fixed).
+    constexpr double kModeSpeedup[3] = {1.0, 3.0, 9.0};
+    double mSecs[3] = {0, 0, 0}, mWeight[3] = {0, 0, 0};
     for (const Pending &p : pending) {
         if (p.measured >= 0) {
-            mSecs[p.ff] += p.measured;
-            mWeight[p.ff] += p.weight;
+            mSecs[static_cast<int>(p.mode)] += p.measured;
+            mWeight[static_cast<int>(p.mode)] += p.weight;
         }
     }
-    double scale[2];
-    for (int m = 0; m < 2; ++m)
+    double scale[3];
+    for (int m = 0; m < 3; ++m)
         scale[m] = (mWeight[m] > 0 && mSecs[m] > 0)
                        ? mSecs[m] / mWeight[m]
                        : -1;
-    if (scale[0] < 0 && scale[1] < 0) {
-        scale[0] = 1.0;
-        scale[1] = 1.0 / kFastForwardSpeedup;
-    } else if (scale[1] < 0) {
-        scale[1] = scale[0] / kFastForwardSpeedup;
-    } else if (scale[0] < 0) {
-        scale[0] = scale[1] * kFastForwardSpeedup;
-    }
+    // Normalize any measured lane to a detailed-equivalent scale and
+    // fill the unmeasured lanes from it (no lane measured: unit).
+    double base = 1.0;
+    for (int m = 0; m < 3; ++m)
+        if (scale[m] >= 0) {
+            base = scale[m] * kModeSpeedup[m];
+            break;
+        }
+    for (int m = 0; m < 3; ++m)
+        if (scale[m] < 0)
+            scale[m] = base / kModeSpeedup[m];
     auto keyOf = [&scale](const Pending &p) {
-        return p.measured >= 0 ? p.measured
-                               : p.weight * scale[p.ff];
+        return p.measured >= 0
+                   ? p.measured
+                   : p.weight * scale[static_cast<int>(p.mode)];
     };
     std::stable_sort(pending.begin(), pending.end(),
                      [&](const Pending &a, const Pending &b) {
@@ -548,7 +565,7 @@ SweepRunner::run(const std::vector<SweepCell> &cells)
                     const Pending &p = *byIdx.at(idx);
                     // Central cost + cache writes: the cache-
                     // ownership rule (workers never touch the dir).
-                    cache_->storeCost(p.hash, p.ff,
+                    cache_->storeCost(p.hash, p.mode,
                                       slot.wallSeconds);
                     if (persist && slot.ok)
                         cache_->store(p.hash, cell);
@@ -560,9 +577,9 @@ SweepRunner::run(const std::vector<SweepCell> &cells)
             CellCache *cache = cache_.get();
             ThreadPool *pool = pool_.get();
             std::string hash = p.hash;
-            const bool ff = p.ff;
+            const ExecMode mode = p.mode;
             pool_->submit([&cell, &slot, cache, pool,
-                           hash = std::move(hash), ff, persist,
+                           hash = std::move(hash), mode, persist,
                            jobsNow] {
                 executeCell(cell, slot);
                 // Lane attribution must be against *this* pool:
@@ -573,7 +590,7 @@ SweepRunner::run(const std::vector<SweepCell> &cells)
                 // Feed the scheduler (and, when persistent, the next
                 // process) this cell's real cost; only successful
                 // cells become servable cache entries.
-                cache->storeCost(hash, ff, slot.wallSeconds);
+                cache->storeCost(hash, mode, slot.wallSeconds);
                 if (persist && slot.ok)
                     cache->store(hash, cellToJson(slot, jobsNow));
             });
@@ -637,6 +654,7 @@ SweepRunner::runAsFleetWorker(const std::vector<SweepCell> &cells)
         slot.iterations = cell.iterations;
         slot.warmup = cell.warmup;
         slot.fastForward = cell.fastForward;
+        slot.sampling = cell.sampling;
         slot.tags = cell.tags;
         slot.gridIndex = nextGridIndex_++;
         slot.skipped = true; // another worker's unless served here
@@ -662,7 +680,8 @@ std::string
 cellConfigHash(const CellResult &r)
 {
     return hashCellConfig(r.workload, r.scheme, r.seed, r.iterations,
-                          r.warmup, r.fastForward, r.tags);
+                          r.warmup, r.fastForward, r.sampling,
+                          r.tags);
 }
 
 std::string
@@ -671,7 +690,7 @@ cellConfigHash(const SweepCell &c)
     return hashCellConfig(c.profile.name,
                           workloads::schemeName(c.scheme), c.seed,
                           c.iterations, c.warmup, c.fastForward,
-                          c.tags);
+                          c.sampling, c.tags);
 }
 
 CellResult
@@ -685,6 +704,26 @@ cellFromCachedJson(const Json &cell)
     r.warmup = static_cast<unsigned>(uintField(cell, "warmup"));
     if (cell.contains("fast_forward"))
         r.fastForward = cell.at("fast_forward").asBool();
+    if (cell.contains("sampling")) {
+        const Json &sj = cell.at("sampling");
+        // The spec string round-trips the exact configuration
+        // (including infinite windows, which a JSON number cannot
+        // represent losslessly).
+        if (sj.contains("spec"))
+            r.sampling =
+                sim::SamplingParams::parse(sj.at("spec").asString());
+        workloads::SampledStats &ss = r.result.sampling;
+        ss.active = sj.contains("active") && sj.at("active").asBool();
+        ss.windows = uintField(sj, "windows");
+        ss.windowInsts = uintField(sj, "window_insts");
+        ss.warmingInsts = uintField(sj, "warming_insts");
+        ss.periodInsts = uintField(sj, "period_insts");
+        ss.cpiMean = doubleField(sj, "cpi_mean");
+        ss.cpiCi95 = doubleField(sj, "cpi_ci95");
+        ss.relError = doubleField(sj, "rel_error");
+        ss.sampledInsts = uintField(sj, "sampled_insts");
+        ss.measuredCycles = uintField(sj, "measured_cycles");
+    }
     if (cell.contains("tags"))
         for (const auto &[k, v] : cell.at("tags").asObject())
             r.tags[k] = v.asString();
@@ -820,6 +859,29 @@ cellToJson(const CellResult &r, unsigned jobs)
     o["isv_cache_hit_rate"] = res.isvCacheHitRate;
     o["dsv_cache_hit_rate"] = res.dsvCacheHitRate;
 
+    // Sampled-simulation block (schema 5, DESIGN §5.8). Present only
+    // for cells configured to sample; `active` distinguishes a real
+    // extrapolated estimate from a degenerate run (e.g. an infinite
+    // window) whose cycles stayed fully measured. Statistical cells
+    // are not bit-comparable — bench_report --check refuses them and
+    // --accuracy-baseline is the sanctioned comparison.
+    if (r.sampling.enabled) {
+        const workloads::SampledStats &ss = res.sampling;
+        Json::Object sj;
+        sj["spec"] = r.sampling.spec();
+        sj["active"] = ss.active;
+        sj["windows"] = ss.windows;
+        sj["window_insts"] = ss.windowInsts;
+        sj["warming_insts"] = ss.warmingInsts;
+        sj["period_insts"] = ss.periodInsts;
+        sj["cpi_mean"] = ss.cpiMean;
+        sj["cpi_ci95"] = ss.cpiCi95;
+        sj["rel_error"] = ss.relError;
+        sj["sampled_insts"] = ss.sampledInsts;
+        sj["measured_cycles"] = ss.measuredCycles;
+        o["sampling"] = std::move(sj);
+    }
+
     Json::Object stats;
     for (const auto &[name, value] : res.stats.all())
         stats[name] = value;
@@ -901,7 +963,7 @@ Json
 SweepRunner::toJson() const
 {
     Json::Object doc;
-    doc["schema"] = std::uint64_t{4};
+    doc["schema"] = std::uint64_t{5};
     doc["bench"] = opts_.benchName;
     doc["jobs"] = jobs();
     doc["git"] = buildGitDescribe();
@@ -1129,7 +1191,7 @@ mergeSweeps(const std::vector<Json> &shards,
                     std::to_string(gridCells) + " cells present");
 
     Json::Object doc;
-    doc["schema"] = std::uint64_t{4};
+    doc["schema"] = std::uint64_t{5};
     doc["bench"] = bench;
     doc["jobs"] = jobsMax;
     doc["git"] = git;

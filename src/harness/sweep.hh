@@ -62,6 +62,13 @@ struct SweepCell
      * it. Defaults to the PERSPECTIVE_FASTFWD environment switch. */
     bool fastForward = workloads::Experiment::fastForwardDefault();
 
+    /** Sampled simulation (statistical; DESIGN §5.8). Enabled cells
+     * mix the full sampling spec into the config hash, so sampled
+     * and exact cells never share cache entries or cost-table rows;
+     * exact cells hash byte-identically to earlier schemas. Defaults
+     * to the PERSPECTIVE_SAMPLE environment switch. */
+    sim::SamplingParams sampling = sim::SamplingParams::fromEnv();
+
     /** Free-form metadata carried into the result and the JSON
      * emission (e.g. an ablation's config knob values). */
     std::map<std::string, std::string> tags;
@@ -85,6 +92,9 @@ struct CellResult
     unsigned iterations = 0;
     unsigned warmup = 0;
     bool fastForward = false;
+    /** Sampling configuration the cell ran under (disabled = exact);
+     * the outcome lives in result.sampling. */
+    sim::SamplingParams sampling;
     std::map<std::string, std::string> tags;
 
     workloads::RunResult result;

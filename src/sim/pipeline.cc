@@ -930,8 +930,17 @@ Pipeline::doFetch()
     // taint (transmission requires a tainted address) — the ledger
     // observes exactly nothing on either path (DESIGN §5.5).
     if (ffMode_ && rob_.empty() && scheduled_.empty() &&
-        pol->allowFastForward())
+        pol->allowFastForward()) {
+        // Sampled mode: run functional skip/warm phases to their
+        // boundaries first; the machine returns inside a detailed
+        // window (or halted, in which case nothing is left to fetch).
+        if (sampleMode_) {
+            samplingStep(*pol);
+            if (halted_ || fetch_.halted)
+                return;
+        }
         n = fastForwardRegion();
+    }
     while (n < params_.width && rob_.size() < params_.robSize) {
         // Predecoded superblock stream: the function descriptor, op
         // PCs, dispatch kinds and cache-line transitions are resolved
@@ -1215,6 +1224,31 @@ Pipeline::restore(const Snapshot &s)
     // valid; only the cursor (front-end position) is rewound.
     fetchSb_ = nullptr;
     fetchSbPos_ = 0;
+    // The sampling phase machine anchors on the cumulative committed
+    // count, which just rewound with the stats.
+    resetSampling();
+}
+
+void
+Pipeline::resetSampling()
+{
+    sampler_.reset();
+    sampleInit_ = false;
+    sampleFirstSkip_ = true;
+}
+
+void
+Pipeline::flushSampleWindow()
+{
+    if (!sampleMode_ || !sampleInit_ ||
+        samplePhase_ != SamplePhase::Detailed)
+        return;
+    std::uint64_t committed = ctrCommitted_.value();
+    if (committed > sampleWindowStartInsts_)
+        sampler_.addWindow(now_ - sampleWindowStartCycle_,
+                           committed - sampleWindowStartInsts_);
+    sampleWindowStartInsts_ = committed;
+    sampleWindowStartCycle_ = now_;
 }
 
 void
@@ -1265,6 +1299,15 @@ Pipeline::run(FuncId entry)
     // (its answer can change as dynamic-update state drains).
     ffMode_ = params_.fastForward && !params_.detailedTelemetry &&
               !eventsOn_ && !trace::anyEnabled();
+    // Sampling rides on the fast-forward preconditions: anything that
+    // demands the per-cycle detailed path also invalidates functional
+    // skipping. The armed leakage ledger does not disengage it either
+    // — functional phases are non-speculative by construction (same
+    // argument as regions above) — but the ledger then only observes
+    // the detailed windows; leak *measurement* runs force the
+    // detailed path via the policy's allowFastForward hook and by
+    // leaving sampling off (DESIGN §5.8).
+    sampleMode_ = params_.sampling.enabled && ffMode_;
 
     Cycle start = now_;
     std::uint64_t start_inst = stats_.get("committed");

@@ -41,6 +41,7 @@
 #include "policy.hh"
 #include "predictor.hh"
 #include "program.hh"
+#include "sampling.hh"
 #include "stats.hh"
 #include "superblock.hh"
 #include "tlb.hh"
@@ -90,6 +91,14 @@ struct PipelineParams
      * disengages whenever tracing or the active policy demands the
      * detailed path. */
     bool fastForward = false;
+    /** Sampled simulation (DESIGN §5.8): when enabled (and the fast-
+     * forward preconditions above hold), the core runs the periodic
+     * functional-skip -> functional-warm -> detailed-window cycle and
+     * estimates mean CPI with a confidence interval instead of
+     * simulating every instruction cycle-accurately. Explicitly
+     * statistical — cycle counts and most stats cover only the
+     * detailed windows; callers extrapolate via sampler(). */
+    SamplingParams sampling;
 };
 
 /** Outcome of one Pipeline::run invocation. */
@@ -190,6 +199,35 @@ class Pipeline
      * speculative loads and tracks taint only while armed. */
     LeakLedger &leakLedger() { return ledger_; }
     const LeakLedger &leakLedger() const { return ledger_; }
+
+    /** @name Sampled simulation (DESIGN §5.8)
+     * @{ */
+
+    /** Per-window CPI estimator; meaningful after a sampled run. */
+    const SamplingEstimator &sampler() const { return sampler_; }
+
+    /** True when the most recent run() executed in sampled mode
+     * (sampling enabled and the fast-forward preconditions held). */
+    bool sampledMode() const { return sampleMode_; }
+
+    /**
+     * Re-anchor the sampling phase machine and clear the estimator.
+     * Experiment calls this at its warmup -> measured boundary (right
+     * after clearing stats) so the measured phase starts with a fresh
+     * detailed window and an empty estimate; restore() calls it
+     * because the phase anchor (cumulative committed count) rewinds.
+     */
+    void resetSampling();
+
+    /**
+     * Fold an open, partially filled detailed window into the
+     * estimator. Only used as a last resort on streams too short to
+     * complete a single full window — partial windows carry the same
+     * weight as full ones, so routine flushing would bias the mean.
+     */
+    void flushSampleWindow();
+
+    /** @} */
 
     Memory &memory() { return mem_; }
     CacheHierarchy &caches() { return caches_; }
@@ -507,6 +545,25 @@ class Pipeline
      * already consumed in the current cycle. */
     unsigned fastForwardRegion();
 
+    // -- sampled simulation (pipeline_ff.cc, DESIGN §5.8) -----------------
+    /** Phase controller: called at the quiescent engagement point in
+     * sampled mode. Runs functional skip/warm phases to their
+     * instruction-count boundaries, records completed detailed
+     * windows into sampler_, and returns with the machine either
+     * inside a detailed window (detailed/FF execution proceeds) or
+     * halted. */
+    void samplingStep(SpeculationPolicy &pol);
+    /** Architectural-only executor: commits up to @p budget micro-ops
+     * with correct register/memory/control-flow semantics but no
+     * timing (now_ does not advance) and, in the skip phase, no
+     * microarchitectural updates at all. With @p warm set it drives
+     * the L1/L2 caches, D-TLB, branch predictors, BTB, RSB and the
+     * policy's warmAccess hook, so detailed windows open on the state
+     * a continuously-detailed run would have. Only the committed-
+     * micro-op counters advance; all other stats stay untouched. */
+    void functionalAdvance(std::uint64_t budget, bool warm,
+                           SpeculationPolicy &pol);
+
     const Program &prog_;
     Memory &mem_;
     PipelineParams params_;
@@ -622,6 +679,25 @@ class Pipeline
     Counter ctrFfUops_;
     Counter ctrFfEntries_;
     Counter ctrFfCycles_;
+
+    // Sampled-simulation controller state (pipeline_ff.cc). The phase
+    // machine anchors on the cumulative committed-micro-op count, so
+    // phases span run() boundaries and request streams; it is
+    // re-anchored only by resetSampling().
+    enum class SamplePhase : std::uint8_t
+    {
+        Skip,    ///< functional, no microarchitectural updates
+        Warm,    ///< functional, caches/predictors/views driven
+        Detailed ///< cycle-accurate, contributes to the estimate
+    };
+    bool sampleMode_ = false; ///< sampling latched for this run
+    bool sampleInit_ = false; ///< phase machine anchored
+    bool sampleFirstSkip_ = true; ///< next skip takes the seed jitter
+    SamplePhase samplePhase_ = SamplePhase::Detailed;
+    std::uint64_t samplePhaseEnd_ = 0; ///< phase boundary (committed)
+    std::uint64_t sampleWindowStartInsts_ = 0;
+    Cycle sampleWindowStartCycle_ = 0;
+    SamplingEstimator sampler_;
 
     /** One in-flight micro-op of a fast-forward region: the fields of
      * RobEntry the replica phases actually exercise, flat and small.

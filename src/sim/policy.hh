@@ -183,6 +183,19 @@ class SpeculationPolicy
      */
     virtual bool allowFastForward() const { return true; }
 
+    /**
+     * Functional-warming hook (sampled simulation, DESIGN §5.8): the
+     * pipeline's warming phase replays each committed kernel load
+     * through this instead of gateLoad so scheme-owned lookup
+     * structures (ISV/DSV caches) stay warm across skipped intervals.
+     * Implementations must be *accounting-free* — no counters, no
+     * histogram samples, no gate decisions, no wake bookkeeping —
+     * and install fills as immediately ready: warming has no timeline
+     * and must never perturb the statistics a detailed window
+     * measures. The default (no scheme-owned state) does nothing.
+     */
+    virtual void warmAccess(const SpecContext &ctx) { (void)ctx; }
+
     /** Stats sink for fence-attribution counters. Virtual so schemes
      * can resolve cached Counter handles for their hot-path and
      * GateWake tally counters when the sink attaches. */

@@ -1,0 +1,148 @@
+#include "sampling.hh"
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace perspective::sim
+{
+
+namespace
+{
+
+std::uint64_t
+parseCount(const std::string &key, const std::string &val)
+{
+    if (val == "inf" || val == "INF")
+        return SamplingParams::kInfiniteWindow;
+    std::size_t pos = 0;
+    std::uint64_t v = 0;
+    try {
+        v = std::stoull(val, &pos);
+    } catch (const std::exception &) {
+        pos = 0;
+    }
+    if (pos != val.size() || val.empty())
+        throw std::invalid_argument("sampling: bad value for '" + key +
+                                    "': '" + val + "'");
+    return v;
+}
+
+} // namespace
+
+SamplingParams
+SamplingParams::parse(const std::string &spec)
+{
+    SamplingParams p;
+    if (spec.empty() || spec == "0" || spec == "off")
+        return p; // disabled
+    p.enabled = true;
+    if (spec == "1" || spec == "on" || spec == "default")
+        return p;
+
+    std::istringstream in(spec);
+    std::string item;
+    while (std::getline(in, item, ',')) {
+        auto eq = item.find('=');
+        if (eq == std::string::npos)
+            throw std::invalid_argument(
+                "sampling: expected key=value, got '" + item + "'");
+        std::string key = item.substr(0, eq);
+        std::string val = item.substr(eq + 1);
+        if (key == "w" || key == "window")
+            p.windowInsts = parseCount(key, val);
+        else if (key == "warm")
+            p.warmingInsts = parseCount(key, val);
+        else if (key == "period")
+            p.periodInsts = parseCount(key, val);
+        else if (key == "seed")
+            p.seed = parseCount(key, val);
+        else
+            throw std::invalid_argument("sampling: unknown key '" +
+                                        key + "'");
+    }
+    if (p.windowInsts == 0)
+        throw std::invalid_argument("sampling: window must be >= 1");
+    if (p.windowInsts != kInfiniteWindow &&
+        p.periodInsts < p.windowInsts + p.warmingInsts)
+        throw std::invalid_argument(
+            "sampling: period must be >= window + warm");
+    return p;
+}
+
+SamplingParams
+SamplingParams::fromEnv()
+{
+    const char *env = std::getenv("PERSPECTIVE_SAMPLE");
+    if (!env)
+        return SamplingParams{};
+    return parse(env);
+}
+
+std::string
+SamplingParams::spec() const
+{
+    if (!enabled)
+        return "off";
+    std::ostringstream out;
+    out << "w=";
+    if (windowInsts == kInfiniteWindow)
+        out << "inf";
+    else
+        out << windowInsts;
+    out << ",warm=" << warmingInsts << ",period=" << periodInsts
+        << ",seed=" << seed;
+    return out.str();
+}
+
+void
+SamplingEstimator::addWindow(std::uint64_t cycles, std::uint64_t insts)
+{
+    if (insts == 0)
+        return;
+    double x = static_cast<double>(cycles) / static_cast<double>(insts);
+    ++n_;
+    sum_ += x;
+    sumSq_ += x * x;
+    insts_ += insts;
+    cycles_ += cycles;
+}
+
+double
+SamplingEstimator::cpiMean() const
+{
+    if (n_ == 0)
+        return 0.0;
+    return sum_ / static_cast<double>(n_);
+}
+
+double
+SamplingEstimator::cpiCi95() const
+{
+    if (n_ < 2)
+        return 0.0;
+    double n = static_cast<double>(n_);
+    double mean = sum_ / n;
+    double var = (sumSq_ - n * mean * mean) / (n - 1.0);
+    if (var < 0.0)
+        var = 0.0; // floating-point cancellation on near-zero variance
+    return 1.96 * std::sqrt(var / n);
+}
+
+double
+SamplingEstimator::relError() const
+{
+    double mean = cpiMean();
+    if (mean <= 0.0)
+        return 0.0;
+    return cpiCi95() / mean;
+}
+
+void
+SamplingEstimator::reset()
+{
+    *this = SamplingEstimator{};
+}
+
+} // namespace perspective::sim

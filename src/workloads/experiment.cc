@@ -1,6 +1,7 @@
 #include "experiment.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 
 #include "kernel/process.hh"
@@ -68,7 +69,8 @@ Experiment::fastForwardDefault()
 }
 
 Experiment::Experiment(const WorkloadProfile &profile, Scheme scheme,
-                       std::uint64_t seed, bool fastForward)
+                       std::uint64_t seed, bool fastForward,
+                       sim::SamplingParams sampling)
     : profile_(profile), scheme_(scheme)
 {
     // The booted image (built once per seed per process when snapshot
@@ -100,12 +102,15 @@ Experiment::Experiment(const WorkloadProfile &profile, Scheme scheme,
                0x5e);
 
     sim::PipelineParams pp;
-    if (fastForward) {
+    if (fastForward || sampling.enabled) {
         // Fast-forward mode: timing-exact sprint execution; the
         // per-cycle distribution sampling is what it gives up.
+        // Sampled simulation (DESIGN §5.8) builds on the same
+        // machinery, so enabling it implies fast-forward.
         pp.fastForward = true;
         pp.detailedTelemetry = false;
     }
+    pp.sampling = sampling;
     cpu_ = std::make_unique<sim::Pipeline>(img_->program(), mem_, pp);
     interp_ = std::make_unique<kernel::Interpreter>(img_->program(),
                                                     mem_);
@@ -344,6 +349,10 @@ Experiment::run(unsigned iterations, unsigned warmup)
     sim::StatSet &st = cpu_->stats();
     st.clear();
     cpu_->leakLedger().reset();
+    // The sampling phase machine anchors on the committed counter
+    // just cleared; re-anchoring also opens the measured phase with a
+    // fresh detailed window and an empty estimator.
+    cpu_->resetSampling();
     if (perspective_) {
         perspective_->isvCache().resetAccounting();
         perspective_->dsvCache().resetAccounting();
@@ -375,6 +384,38 @@ Experiment::run(unsigned iterations, unsigned warmup)
             g.funcName = cpu_->program().func(g.func).name;
         if (g.entryFunc != sim::kNoFunc)
             g.entryName = cpu_->program().func(g.entryFunc).name;
+    }
+
+    // Sampled mode (DESIGN §5.8): the accumulated cycle count covers
+    // only the detailed windows; the reported total is the estimate
+    // cpiMean x committed instructions, carried with its confidence
+    // interval. An infinite window is the warming-equivalence
+    // configuration — every instruction ran detailed, so the
+    // measured cycles are already exact and no extrapolation applies.
+    const sim::SamplingParams &sp = cpu_->params().sampling;
+    if (cpu_->sampledMode() &&
+        sp.windowInsts != sim::SamplingParams::kInfiniteWindow) {
+        if (cpu_->sampler().windows() == 0) {
+            // Stream too short for one full window: fold the open
+            // partial window in rather than report zero cycles.
+            cpu_->flushSampleWindow();
+        }
+        const sim::SamplingEstimator &est = cpu_->sampler();
+        if (est.windows() > 0) {
+            out.sampling.active = true;
+            out.sampling.windows = est.windows();
+            out.sampling.windowInsts = sp.windowInsts;
+            out.sampling.warmingInsts = sp.warmingInsts;
+            out.sampling.periodInsts = sp.periodInsts;
+            out.sampling.cpiMean = est.cpiMean();
+            out.sampling.cpiCi95 = est.cpiCi95();
+            out.sampling.relError = est.relError();
+            out.sampling.sampledInsts = est.sampledInsts();
+            out.sampling.measuredCycles = out.cycles;
+            out.cycles = static_cast<sim::Cycle>(std::llround(
+                est.cpiMean() *
+                static_cast<double>(out.instructions)));
+        }
     }
     return out;
 }

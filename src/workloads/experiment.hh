@@ -50,6 +50,23 @@ std::vector<Scheme> paperSchemes();
 /** All eight (adds DOM/STT/spot comparisons of Section 9.1). */
 std::vector<Scheme> allSchemes();
 
+/** Sampling outcome attached to a RunResult (sampled mode only). */
+struct SampledStats
+{
+    bool active = false;       ///< the run executed in sampled mode
+    std::uint64_t windows = 0; ///< detailed windows in the estimate
+    std::uint64_t windowInsts = 0;
+    std::uint64_t warmingInsts = 0;
+    std::uint64_t periodInsts = 0;
+    double cpiMean = 0.0;
+    double cpiCi95 = 0.0; ///< 95% CI half-width on the mean CPI
+    double relError = 0.0; ///< cpiCi95 / cpiMean
+    std::uint64_t sampledInsts = 0; ///< insts inside detailed windows
+    /** Raw detailed-window cycles before extrapolation (RunResult::
+     * cycles is cpiMean x instructions in sampled mode). */
+    std::uint64_t measuredCycles = 0;
+};
+
 /** Measured outcome of one workload run. */
 struct RunResult
 {
@@ -65,6 +82,10 @@ struct RunResult
     /** Transient-leakage accounting for the measured iterations
      * (observation-only; see sim/leakage.hh and DESIGN §5.6). */
     sim::LeakageSummary leakage;
+    /** Sampled-simulation estimate (DESIGN §5.8); active only when
+     * the run executed in sampled mode, in which case `cycles` is the
+     * extrapolated value and `stats` covers only detailed windows. */
+    SampledStats sampling;
 
     double
     kernelFraction() const
@@ -88,10 +109,19 @@ class Experiment
      * changes; benches pass it explicitly to run both modes in one
      * process. Fast-forward cells trade the per-cycle telemetry
      * (detailedTelemetry) for throughput.
+     *
+     * @p sampling selects sampled simulation (DESIGN §5.8; the
+     * default follows PERSPECTIVE_SAMPLE). Sampling builds on the
+     * fast-forward machinery, so an enabled @p sampling implies
+     * @p fastForward regardless of the flag passed. Sampled results
+     * are statistical: RunResult::cycles is an extrapolated estimate
+     * carrying the RunResult::sampling confidence interval.
      */
     Experiment(const WorkloadProfile &profile, Scheme scheme,
                std::uint64_t seed = 42,
-               bool fastForward = fastForwardDefault());
+               bool fastForward = fastForwardDefault(),
+               sim::SamplingParams sampling =
+                   sim::SamplingParams::fromEnv());
 
     /** True when PERSPECTIVE_FASTFWD=1 is set in the environment. */
     static bool fastForwardDefault();

@@ -16,7 +16,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -252,7 +254,13 @@ forkWorker(const std::function<void()> &body)
 {
     pid_t pid = ::fork();
     if (pid == 0) {
-        body();
+        // A throw must not unwind into the gtest frames the child
+        // inherited — it would keep running the parent's test suite.
+        try {
+            body();
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "fleet test worker: %s\n", e.what());
+        }
         ::_exit(99); // body failed to exit on its own
     }
     return pid;
@@ -268,10 +276,18 @@ waitExit(pid_t pid)
 
 } // namespace
 
+// The fork-based tests below destroy the coordinator (optional
+// .reset() or scope exit) BEFORE reaping workers: a worker that
+// raced in after the batch drained sits blocked on its hello, and
+// only the coordinator's teardown — closing the connections and the
+// listen socket — turns that wait into a clean EOF exit. Reaping
+// first deadlocks: waitpid() waits on a worker that waits on a
+// coordinator that is still alive but no longer serving.
+
 TEST(Fleet, ForkedWorkersServeEveryCellExactlyOnce)
 {
     const std::string path = fleetSocketPath("serve");
-    FleetCoordinator coord(coordOpts(path));
+    std::optional<FleetCoordinator> coord(coordOpts(path));
 
     auto workerBody = [&] {
         FleetWorker w(path);
@@ -283,19 +299,20 @@ TEST(Fleet, ForkedWorkersServeEveryCellExactlyOnce)
 
     const std::vector<std::size_t> queue = {0, 1, 2, 3, 4, 5};
     std::map<std::size_t, unsigned> got;
-    coord.runBatch(0, "grid-a", queue,
-                   std::vector<double>(queue.size(), 1.0),
-                   [&](std::size_t idx, unsigned worker,
-                       const Json &cell) {
-                       EXPECT_EQ(got.count(idx), 0u) << "duplicate";
-                       got[idx] = worker;
-                       EXPECT_EQ(cell.at("index").asUint(), idx);
-                   });
+    coord->runBatch(0, "grid-a", queue,
+                    std::vector<double>(queue.size(), 1.0),
+                    [&](std::size_t idx, unsigned worker,
+                        const Json &cell) {
+                        EXPECT_EQ(got.count(idx), 0u) << "duplicate";
+                        got[idx] = worker;
+                        EXPECT_EQ(cell.at("index").asUint(), idx);
+                    });
     EXPECT_EQ(got.size(), queue.size());
     std::uint64_t served = 0;
-    for (std::uint64_t n : coord.stats().cellsPerWorker)
+    for (std::uint64_t n : coord->stats().cellsPerWorker)
         served += n;
     EXPECT_EQ(served, queue.size());
+    coord.reset();
     EXPECT_EQ(waitExit(w0), 0);
     EXPECT_EQ(waitExit(w1), 0);
 }
@@ -303,7 +320,7 @@ TEST(Fleet, ForkedWorkersServeEveryCellExactlyOnce)
 TEST(Fleet, WorkerDeathMidCellRequeuesWithoutLoss)
 {
     const std::string path = fleetSocketPath("chaos");
-    FleetCoordinator coord(coordOpts(path));
+    std::optional<FleetCoordinator> coord(coordOpts(path));
 
     // Whichever child completes the handshake first becomes worker 0
     // and dies right before sending its first result; the other must
@@ -311,7 +328,14 @@ TEST(Fleet, WorkerDeathMidCellRequeuesWithoutLoss)
     ::setenv("PERSPECTIVE_FLEET_CHAOS", "0:1", 1);
     auto workerBody = [&] {
         FleetWorker w(path);
-        w.serveBatch(0, "grid-a", "test_fleet", fakeCell);
+        // Slow cells keep the batch alive until both workers have
+        // joined — otherwise one worker can drain all six before
+        // worker 0 ever requests a cell, and the chaos death (which
+        // requires worker 0 to execute one) never happens.
+        w.serveBatch(0, "grid-a", "test_fleet", [](std::size_t i) {
+            ::usleep(20 * 1000);
+            return fakeCell(i);
+        });
         ::_exit(0);
     };
     pid_t w0 = forkWorker(workerBody);
@@ -320,13 +344,14 @@ TEST(Fleet, WorkerDeathMidCellRequeuesWithoutLoss)
 
     const std::vector<std::size_t> queue = {0, 1, 2, 3, 4, 5};
     std::set<std::size_t> got;
-    coord.runBatch(0, "grid-a", queue,
-                   std::vector<double>(queue.size(), 1.0),
-                   [&](std::size_t idx, unsigned, const Json &) {
-                       EXPECT_TRUE(got.insert(idx).second);
-                   });
+    coord->runBatch(0, "grid-a", queue,
+                    std::vector<double>(queue.size(), 1.0),
+                    [&](std::size_t idx, unsigned, const Json &) {
+                        EXPECT_TRUE(got.insert(idx).second);
+                    });
     EXPECT_EQ(got.size(), queue.size()); // every cell exactly once
-    EXPECT_GE(coord.stats().stragglersResent, 1u);
+    EXPECT_GE(coord->stats().stragglersResent, 1u);
+    coord.reset();
 
     // One child died by chaos (_exit(42)), the other finished clean.
     std::multiset<int> exits = {waitExit(w0), waitExit(w1)};
@@ -336,7 +361,7 @@ TEST(Fleet, WorkerDeathMidCellRequeuesWithoutLoss)
 TEST(Fleet, WarmWorkerServesTwoConsecutiveBatches)
 {
     const std::string path = fleetSocketPath("warm");
-    FleetCoordinator coord(coordOpts(path));
+    std::optional<FleetCoordinator> coord(coordOpts(path));
 
     pid_t w = forkWorker([&] {
         // One process, one connection, two batches: the second
@@ -356,21 +381,22 @@ TEST(Fleet, WarmWorkerServesTwoConsecutiveBatches)
     auto count = [&](std::size_t, unsigned, const Json &) {
         ++results;
     };
-    coord.runBatch(0, "grid-a", queue, costs, count);
-    coord.runBatch(1, "grid-b", queue, costs, count);
+    coord->runBatch(0, "grid-a", queue, costs, count);
+    coord->runBatch(1, "grid-b", queue, costs, count);
     EXPECT_EQ(results, 6u);
     // One distinct worker id across both batches — the same warm
     // process served everything, no re-handshake as a new worker.
-    EXPECT_EQ(coord.stats().workers, 1u);
-    ASSERT_EQ(coord.stats().cellsPerWorker.size(), 1u);
-    EXPECT_EQ(coord.stats().cellsPerWorker[0], 6u);
+    EXPECT_EQ(coord->stats().workers, 1u);
+    ASSERT_EQ(coord->stats().cellsPerWorker.size(), 1u);
+    EXPECT_EQ(coord->stats().cellsPerWorker[0], 6u);
+    coord.reset();
     EXPECT_EQ(waitExit(w), 0);
 }
 
 TEST(Fleet, MismatchedGridHashIsRejectedBeforeAnyCell)
 {
     const std::string path = fleetSocketPath("reject");
-    FleetCoordinator coord(coordOpts(path));
+    std::optional<FleetCoordinator> coord(coordOpts(path));
 
     // The impostor claims the same batch with a different grid: it
     // must be turned away at the handshake (a wrong grid would
@@ -397,12 +423,13 @@ TEST(Fleet, MismatchedGridHashIsRejectedBeforeAnyCell)
 
     const std::vector<std::size_t> queue = {0, 1, 2, 3};
     std::size_t results = 0;
-    coord.runBatch(0, "grid-a", queue,
-                   std::vector<double>(queue.size(), 1.0),
-                   [&](std::size_t, unsigned, const Json &) {
-                       ++results;
-                   });
+    coord->runBatch(0, "grid-a", queue,
+                    std::vector<double>(queue.size(), 1.0),
+                    [&](std::size_t, unsigned, const Json &) {
+                        ++results;
+                    });
     EXPECT_EQ(results, queue.size());
+    coord.reset();
     EXPECT_EQ(waitExit(bad), 0);
     EXPECT_EQ(waitExit(good), 0);
 }
@@ -458,15 +485,27 @@ TEST(FleetSweep, MatchesSingleProcessRunnerBitForBit)
         worker.run(fleetGrid());
         ::_exit(0);
     };
-    pid_t w0 = forkWorker(workerBody);
-    pid_t w1 = forkWorker(workerBody);
 
     SweepOptions co;
     co.benchName = "test_fleet_e2e";
     co.fleetSocket = path; // coordinator; workers attach externally
-    SweepRunner coord(co);
-    ASSERT_TRUE(coord.isFleetCoordinator());
-    auto fleet = coord.run(grid);
+    std::vector<CellResult> fleet;
+    Json doc;
+    pid_t w0 = -1;
+    pid_t w1 = -1;
+    {
+        // Bind the coordinator's socket BEFORE forking the workers:
+        // a worker's eager connect then succeeds on its first probe
+        // instead of landing in the 100ms-quantized retry loop — the
+        // whole batch can finish inside one retry interval, leaving
+        // a not-yet-connected worker staring at an unlinked path.
+        SweepRunner coord(co);
+        ASSERT_TRUE(coord.isFleetCoordinator());
+        w0 = forkWorker(workerBody);
+        w1 = forkWorker(workerBody);
+        fleet = coord.run(grid);
+        doc = Json::parse(coord.toJson().dump(2));
+    } // teardown closes the socket; a late worker EOFs out cleanly
 
     ASSERT_EQ(fleet.size(), single.size());
     for (std::size_t i = 0; i < fleet.size(); ++i) {
@@ -484,7 +523,6 @@ TEST(FleetSweep, MatchesSingleProcessRunnerBitForBit)
         EXPECT_FALSE(fleet[i].cached);
     }
 
-    Json doc = Json::parse(coord.toJson().dump(2));
     const Json &sched = doc.at("schedule");
     EXPECT_EQ(sched.at("policy").asString(), "fleet-work-stealing");
     const Json &fl = sched.at("fleet");

@@ -284,7 +284,7 @@ TEST(Sweep, JsonEmissionRoundTripsCounters)
 
     Json doc = Json::parse(runner.toJson().dump(2));
     EXPECT_EQ(doc.at("bench").asString(), "test_sweep");
-    EXPECT_EQ(doc.at("schema").asUint(), 4u); // +leakage block
+    EXPECT_EQ(doc.at("schema").asUint(), 5u); // +sampling block
     EXPECT_FALSE(doc.at("git").asString().empty());
     const auto &cells = doc.at("cells").asArray();
     ASSERT_EQ(cells.size(), rs.size());
